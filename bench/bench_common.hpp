@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/gpufi.hpp"
+
+namespace gpufi::bench {
+
+/// True when GPUFI_FULL=1: paper-scale campaigns (hours) instead of the
+/// single-core quick defaults (seconds to a couple of minutes per bench).
+inline bool full_scale() {
+  const char* v = std::getenv("GPUFI_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Campaign scale used by the RTL experiment benches.
+inline core::RtlCharacterizationConfig rtl_config() {
+  return full_scale() ? core::RtlCharacterizationConfig::paper_scale()
+                      : core::RtlCharacterizationConfig{};
+}
+
+/// Directory for cached artifacts (syndrome DB, trained weights); created
+/// next to the working directory so repeated bench runs share the expensive
+/// characterization.
+inline std::string data_dir() { return "gpufi_data"; }
+
+/// Loads (or builds once) the RTL syndrome database.
+inline syndrome::Database shared_database() {
+  const std::string path =
+      data_dir() + (full_scale() ? "/syndromes_full.db" : "/syndromes.db");
+  std::printf("[bench] syndrome database: %s\n", path.c_str());
+  return core::ensure_syndrome_database(path, rtl_config());
+}
+
+/// Loads (or trains once) the CNNs.
+inline core::Models shared_models() {
+  std::printf("[bench] models: %s\n", data_dir().c_str());
+  return core::ensure_models(data_dir());
+}
+
+/// Software-injection count per application/model.
+inline std::size_t sw_injections() { return full_scale() ? 6000 : 250; }
+
+/// CNN injection count per model.
+inline std::size_t cnn_injections() { return full_scale() ? 6000 : 150; }
+
+inline void header(const char* id, const char* what) {
+  std::printf("\n=============================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("(scale: %s; set GPUFI_FULL=1 for paper-scale campaigns)\n",
+              full_scale() ? "paper" : "quick");
+  std::printf("=============================================================\n");
+}
+
+}  // namespace gpufi::bench

@@ -1,0 +1,69 @@
+// Fig. 3: dynamic instruction profile of every evaluated application —
+// shares of FP32, INT32, special-function, memory and control instructions
+// among the RTL-characterized opcodes, plus "Others".
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "emu/profiler.hpp"
+#include "nn/gpu_infer.hpp"
+
+using namespace gpufi;
+
+namespace {
+
+void add_row(TextTable& t, const std::string& name,
+             const emu::Profiler& prof) {
+  using isa::OpClass;
+  t.add_row({name, TextTable::pct(prof.class_fraction(OpClass::Fp32)),
+             TextTable::pct(prof.class_fraction(OpClass::Int32)),
+             TextTable::pct(prof.class_fraction(OpClass::Special)),
+             TextTable::pct(prof.class_fraction(OpClass::Memory)),
+             TextTable::pct(prof.class_fraction(OpClass::Control)),
+             TextTable::pct(prof.class_fraction(OpClass::Other)),
+             TextTable::pct(prof.characterized_fraction())});
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig. 3", "application instruction profiles");
+  TextTable t({"application", "FP32", "INT32", "SFU", "Mem(GLD/GST)",
+               "Ctrl(BRA/ISET)", "Others", "characterized"});
+
+  for (auto& h : apps::all_hpc_apps()) {
+    emu::Device dev(h.app.device_words);
+    emu::Profiler prof;
+    if (!h.app.run(dev, &prof)) {
+      std::printf("golden run failed for %s\n", h.app.name.c_str());
+      return 1;
+    }
+    add_row(t, h.app.name, prof);
+  }
+
+  const auto models = bench::shared_models();
+  for (const nn::Network* net : {&models.lenet, &models.yololite}) {
+    nn::GpuInference infer(*net);
+    Rng rng(3);
+    const nn::Tensor img = net->name == "LeNet"
+                               ? nn::make_digit(rng).image
+                               : nn::make_scene(rng).image;
+    emu::Device dev(infer.device_words());
+    emu::Profiler prof;
+    nn::InferOptions opts;
+    opts.hook = &prof;
+    if (!infer.run(dev, img, opts)) {
+      std::printf("golden inference failed for %s\n", net->name.c_str());
+      return 1;
+    }
+    add_row(t, net->name, prof);
+  }
+
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Paper claim: the 12 characterized opcodes cover > 70%% of dynamic\n"
+      "instructions in common GPU codes (our Hotspot is lower because its\n"
+      "boundary clamping uses IMIN/IMAX, which fall in Others).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig. 5: distribution of the fault syndrome (relative error at the
+// instruction output) for the floating-point instructions, per injection
+// site (FU / pipeline / scheduler) and input range (S/M/L), rendered as
+// decade histograms; plus the power-law fit and Shapiro-Wilk verdict.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "syndrome/syndrome.hpp"
+
+using namespace gpufi;
+
+namespace {
+
+void print_key(const syndrome::Database& db, rtl::Module m, isa::Opcode op,
+               rtlfi::InputRange r) {
+  const auto* d = db.find(syndrome::Key{m, op, r});
+  if (d == nullptr || d->count() == 0) return;
+  std::printf("--- %s / %s / %s inputs: %zu syndromes, median %.3g",
+              std::string(isa::mnemonic(op)).c_str(),
+              std::string(rtl::module_name(m)).c_str(),
+              std::string(rtlfi::range_name(r)).c_str(), d->count(),
+              d->median());
+  if (d->power_law()) {
+    std::printf(", power law alpha=%.2f xmin=%.2g ks=%.3f",
+                d->power_law()->alpha, d->power_law()->x_min,
+                d->power_law()->ks);
+  }
+  std::printf(", Shapiro-Wilk p=%.4f%s\n", d->shapiro_p(),
+              d->shapiro_p() < 0.05 ? " (non-Gaussian)" : "");
+  std::printf("%s", d->histogram().to_ascii(40).c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig. 5", "FP instruction syndrome distributions");
+  const auto db = bench::shared_database();
+  for (auto op : {isa::Opcode::FADD, isa::Opcode::FMUL, isa::Opcode::FFMA}) {
+    for (auto m : {rtl::Module::Fp32Fu, rtl::Module::PipelineRegs,
+                   rtl::Module::Scheduler}) {
+      for (unsigned r = 0; r < rtlfi::kNumRanges; ++r)
+        print_key(db, m, op, static_cast<rtlfi::InputRange>(r));
+    }
+  }
+  std::printf(
+      "\nPaper shapes: peaked (power-law) distributions, not Gaussian; only\n"
+      "a small tail (<~1%%) beyond 1e2 relative error; MUL/FMA medians move\n"
+      "with the input range while ADD's barely does.\n");
+  return 0;
+}

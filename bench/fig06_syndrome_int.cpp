@@ -1,0 +1,41 @@
+// Fig. 6: syndrome (relative error) distributions for the integer
+// instructions, per injection site and input range, plus the median-shift
+// analysis of Sec. V-C (MUL/MAD medians depend on the input range).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "syndrome/syndrome.hpp"
+
+using namespace gpufi;
+
+int main() {
+  bench::header("Fig. 6", "INT instruction syndrome distributions");
+  const auto db = bench::shared_database();
+  for (auto op : {isa::Opcode::IADD, isa::Opcode::IMUL, isa::Opcode::IMAD}) {
+    double med[3] = {0, 0, 0};
+    for (auto m : {rtl::Module::IntFu, rtl::Module::PipelineRegs,
+                   rtl::Module::Scheduler}) {
+      for (unsigned r = 0; r < rtlfi::kNumRanges; ++r) {
+        const auto range = static_cast<rtlfi::InputRange>(r);
+        const auto* d = db.find(syndrome::Key{m, op, range});
+        if (d == nullptr || d->count() == 0) continue;
+        if (m == rtl::Module::IntFu) med[r] = d->median();
+        std::printf("--- %s / %s / %s inputs: %zu syndromes, median %.3g, "
+                    "Shapiro-Wilk p=%.4f\n",
+                    std::string(isa::mnemonic(op)).c_str(),
+                    std::string(rtl::module_name(m)).c_str(),
+                    std::string(rtlfi::range_name(range)).c_str(),
+                    d->count(), d->median(), d->shapiro_p());
+        std::printf("%s", d->histogram().to_ascii(40).c_str());
+      }
+    }
+    std::printf(">>> %s FU medians S/M/L: %.3g / %.3g / %.3g\n\n",
+                std::string(isa::mnemonic(op)).c_str(), med[0], med[1],
+                med[2]);
+  }
+  std::printf(
+      "Paper shape: all distributions are power laws (Shapiro-Wilk p<0.05);\n"
+      "the syndrome medians of the multiply-class instructions shift with\n"
+      "the input range (up to ~30%%), ADD's stay put (~1%%).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 7: AVF of the t-MxM mini-app for scheduler and pipeline injections,
+// split into DUEs and single/multiple-element SDCs, for the Max, Zero and
+// Random input tiles.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "rtlfi/campaign.hpp"
+#include "rtlfi/microbench.hpp"
+
+using namespace gpufi;
+using rtlfi::TileKind;
+
+int main() {
+  bench::header("Fig. 7", "t-MxM AVF (scheduler vs pipeline, per tile kind)");
+  const std::size_t faults = bench::full_scale() ? 12000 : 900;
+  TextTable t({"site", "tile", "SDC-1el", "SDC-multi", "DUE", "multi-frac",
+               "mean elems", "+-95%"});
+  double sched_sdc_z = 0, sched_sdc_r = 0, pipe_sdc_z = 0, pipe_sdc_r = 0;
+  std::uint64_t seed = 31;
+  for (auto site : {rtl::Module::Scheduler, rtl::Module::PipelineRegs}) {
+    for (auto kind : {TileKind::Max, TileKind::Zero, TileKind::Random}) {
+      rtlfi::CampaignResult merged;
+      for (std::uint64_t v = 1; v <= 2; ++v) {
+        const auto w = rtlfi::make_tmxm(kind, v);
+        rtlfi::CampaignConfig cfg;
+        cfg.module = site;
+        cfg.n_faults = faults / 2;
+        cfg.seed = ++seed;
+        merged.merge(rtlfi::run_campaign(w, cfg));
+      }
+      t.add_row({std::string(rtl::module_name(site)),
+                 std::string(rtlfi::tile_name(kind)),
+                 TextTable::pct(static_cast<double>(merged.sdc_single) /
+                                merged.injected),
+                 TextTable::pct(static_cast<double>(merged.sdc_multi) /
+                                merged.injected),
+                 TextTable::pct(merged.avf_due()),
+                 TextTable::pct(merged.multi_fraction()),
+                 TextTable::num(merged.mean_corrupted_elements(), 3),
+                 TextTable::pct(merged.margin_of_error())});
+      const double sdc = merged.avf_sdc();
+      if (site == rtl::Module::Scheduler) {
+        (kind == TileKind::Zero ? sched_sdc_z : sched_sdc_r) = sdc;
+      } else {
+        (kind == TileKind::Zero ? pipe_sdc_z : pipe_sdc_r) = sdc;
+      }
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Paper shapes: a large share of t-MxM SDCs corrupt multiple output\n"
+      "elements (>=70%% scheduler, >=50%% pipeline in the paper); the Zero\n"
+      "tile masks pipeline data faults (Z SDC AVF %.2f%% < R %.2f%%).\n"
+      "Known deviation (see EXPERIMENTS.md): the paper's scheduler AVF\n"
+      "exceeds its pipeline AVF for t-MxM; in our model the pipeline's\n"
+      "operand collectors dominate its live state and keep it higher.\n",
+      100 * pipe_sdc_z, 100 * pipe_sdc_r);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 9: the relative error is not uniform across the corrupted elements
+// of a multi-element pattern — print per-element relative-error spreads for
+// an observed row pattern and an observed block pattern, plus the fitted
+// two-level power-law sampler the software injector uses.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "rtlfi/campaign.hpp"
+#include "rtlfi/microbench.hpp"
+#include "syndrome/syndrome.hpp"
+
+using namespace gpufi;
+using syndrome::Pattern;
+
+int main() {
+  bench::header("Fig. 9", "relative-error spread within spatial patterns");
+  const std::size_t faults = bench::full_scale() ? 12000 : 3000;
+  const auto w = rtlfi::make_tmxm(rtlfi::TileKind::Random, 1);
+  rtlfi::CampaignConfig cfg;
+  cfg.module = rtl::Module::PipelineRegs;
+  cfg.n_faults = faults;
+  cfg.seed = 78;
+  auto res = rtlfi::run_campaign(w, cfg);
+  {
+    rtlfi::CampaignConfig s = cfg;
+    s.module = rtl::Module::Scheduler;
+    res.merge(rtlfi::run_campaign(w, s));
+  }
+
+  bool shown_row = false, shown_block = false;
+  for (const auto& rec : res.records) {
+    if (rec.outcome != rtlfi::Outcome::Sdc || rec.diffs.size() < 3) continue;
+    std::vector<std::uint32_t> idx;
+    for (const auto& d : rec.diffs) idx.push_back(d.index);
+    const auto p = syndrome::classify_pattern(idx, 8, 8);
+    const bool want = (p == Pattern::Row && !shown_row) ||
+                      (p == Pattern::Block && !shown_block) ||
+                      (p == Pattern::All && !shown_block);
+    if (!want) continue;
+    if (p == Pattern::Row) shown_row = true;
+    else shown_block = true;
+    double lo = 1e30, hi = 0, sum = 0;
+    std::printf("\n%s pattern, %zu elements, per-element relative errors:\n ",
+                std::string(syndrome::pattern_name(p)).c_str(),
+                rec.diffs.size());
+    for (const auto& d : rec.diffs) {
+      std::printf(" %.2e", d.rel_error);
+      lo = std::min(lo, d.rel_error);
+      hi = std::max(hi, d.rel_error);
+      sum += d.rel_error;
+    }
+    std::printf("\n  min %.2e  mean %.2e  max %.2e  (spread %.1fx)\n", lo,
+                sum / rec.diffs.size(), hi, hi / std::max(lo, 1e-30));
+    if (shown_row && shown_block) break;
+  }
+
+  // The software-side sampler that reproduces this behaviour.
+  const auto db = bench::shared_database();
+  Rng rng(5);
+  std::printf("\ntwo-level power-law sampler (Sec. V-D) examples:\n");
+  for (int i = 0; i < 3; ++i) {
+    const auto tc = db.sample_tile_corruption(8, 8, rng);
+    double lo = 1e30, hi = 0;
+    for (const auto& e : tc.elements) {
+      lo = std::min(lo, e.rel_error);
+      hi = std::max(hi, e.rel_error);
+    }
+    std::printf("  sampled '%s' with %zu elements, rel errors %.2e..%.2e\n",
+                std::string(syndrome::pattern_name(tc.pattern)).c_str(),
+                tc.elements.size(), lo, hi);
+  }
+  std::printf(
+      "\nPaper shape: the per-element relative errors of one pattern span\n"
+      "orders of magnitude (power-law distributed within the record's\n"
+      "range), so the injector samples a range first, then each element.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 10 + Table III (HPC rows): SDC Program Vulnerability Factor of the
+// six HPC applications under the traditional single-bit-flip model vs the
+// RTL-derived relative-error syndrome model — the headline result that
+// bit-flip injection underestimates the PVF (up to 48%, 18% on average in
+// the paper).
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "swfi/swfi.hpp"
+
+using namespace gpufi;
+
+int main() {
+  bench::header("Fig. 10 / Table III (HPC)",
+                "SDC PVF: single bit-flip vs RTL relative-error syndrome");
+  const auto db = bench::shared_database();
+  const std::size_t n = bench::sw_injections();
+
+  TextTable t({"application", "PVF bit-flip", "PVF rel-error", "underest.",
+               "DUE bf", "DUE rel", "+-95%"});
+  double worst = 0, sum = 0;
+  unsigned count = 0;
+  for (auto& h : apps::all_hpc_apps()) {
+    swfi::Config bf;
+    bf.model = swfi::FaultModel::SingleBitFlip;
+    bf.n_injections = n;
+    bf.seed = 101;
+    const auto rb = swfi::run_sw_campaign(h.app, bf);
+
+    swfi::Config re;
+    re.model = swfi::FaultModel::RelativeError;
+    re.db = &db;
+    re.n_injections = n;
+    re.seed = 102;
+    const auto rr = swfi::run_sw_campaign(h.app, re);
+
+    const double under =
+        rr.pvf() > 0 ? (rr.pvf() - rb.pvf()) / rr.pvf() : 0.0;
+    worst = std::max(worst, under);
+    sum += under;
+    ++count;
+    t.add_row({h.app.name, TextTable::num(rb.pvf(), 3),
+               TextTable::num(rr.pvf(), 3), TextTable::pct(under),
+               TextTable::pct(rb.due_rate()), TextTable::pct(rr.due_rate()),
+               TextTable::pct(rr.margin_of_error())});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "bit-flip underestimation: worst %.1f%%, average %.1f%% (paper: up to\n"
+      "48%%, 18%% on average, with the syndrome PVF >= bit-flip PVF for\n"
+      "every code; paper Table III bit-flip PVFs: MxM 1.0, Lava 0.69,\n"
+      "Quicksort 0.94, Hotspot 0.25, Gaussian 0.82, LUD 0.95).\n",
+      100 * worst, 100 * sum / count);
+  return 0;
+}

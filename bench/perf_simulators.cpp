@@ -1,0 +1,81 @@
+// Performance characterization (google-benchmark) of the two execution
+// levels, plus the paper's headline time argument (Sec. VI): injecting one
+// fault at RTL into a real application costs hours; one software injection
+// costs milliseconds — the two-level framework turns years into hours.
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.hpp"
+#include "emu/device.hpp"
+#include "fparith/fp32.hpp"
+#include "fparith/sfu.hpp"
+#include "rtlfi/microbench.hpp"
+#include "rtl/sm.hpp"
+
+using namespace gpufi;
+
+static void BM_FparithFma(benchmark::State& state) {
+  std::uint32_t x = 0x3f800000u;
+  for (auto _ : state) {
+    x = fparith::fma_bits(x, 0x3f810000u, 0x3e000000u, fparith::FpOp::Fma);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_FparithFma);
+
+static void BM_SfuSin(benchmark::State& state) {
+  std::uint32_t x = 0x3f000000u;
+  for (auto _ : state) {
+    x = fparith::sfu_sin_bits(x | 0x3f000000u);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_SfuSin);
+
+/// RTL model throughput in simulated cycles per second.
+static void BM_RtlCyclesPerSecond(benchmark::State& state) {
+  const auto w =
+      rtlfi::make_microbenchmark(isa::Opcode::FFMA,
+                                 rtlfi::InputRange::Medium, 1);
+  rtl::Sm sm;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    w.setup(sm);
+    const auto r = sm.run(w.program, w.dims);
+    cycles += r.cycles;
+    benchmark::DoNotOptimize(r.status);
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RtlCyclesPerSecond)->Unit(benchmark::kMillisecond);
+
+/// Emulator throughput in retired thread-instructions per second.
+static void BM_EmulatorInstrPerSecond(benchmark::State& state) {
+  auto h = apps::make_mxm(24);
+  std::uint64_t instrs = 0;
+  for (auto _ : state) {
+    emu::Device dev(h.app.device_words);
+    class Count : public emu::InstrumentHook {
+     public:
+      std::uint64_t n = 0;
+      void on_count(const emu::RetireInfo&) override { ++n; }
+    } counter;
+    h.app.run(dev, &counter);
+    instrs += counter.n;
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EmulatorInstrPerSecond)->Unit(benchmark::kMillisecond);
+
+/// One full software injection (golden-equivalent run) on an application.
+static void BM_OneSoftwareInjectionRun(benchmark::State& state) {
+  auto h = apps::make_hotspot();
+  for (auto _ : state) {
+    emu::Device dev(h.app.device_words);
+    benchmark::DoNotOptimize(h.app.run(dev, nullptr));
+  }
+}
+BENCHMARK(BM_OneSoftwareInjectionRun)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Table II: distribution of the multi-element spatial corruption patterns
+// (row, column, row+col, block, random, all) observed in the t-MxM output
+// for scheduler vs pipeline injections.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "syndrome/syndrome.hpp"
+
+using namespace gpufi;
+using syndrome::Pattern;
+
+int main() {
+  bench::header("Table II", "t-MxM multi-element spatial patterns");
+  const auto db = bench::shared_database();
+  TextTable t({"inj. site", "row", "col", "row+col", "block", "rand", "all",
+               "multi SDCs"});
+  for (auto site : {rtl::Module::Scheduler, rtl::Module::PipelineRegs}) {
+    const auto& s = db.tmxm(site);
+    std::size_t multi = 0;
+    for (std::size_t p = 1; p < syndrome::kNumPatterns; ++p)
+      multi += s.counts[p];
+    t.add_row({std::string(rtl::module_name(site)),
+               TextTable::pct(s.multi_fraction(Pattern::Row)),
+               TextTable::pct(s.multi_fraction(Pattern::Col)),
+               TextTable::pct(s.multi_fraction(Pattern::RowCol)),
+               TextTable::pct(s.multi_fraction(Pattern::Block)),
+               TextTable::pct(s.multi_fraction(Pattern::Random)),
+               TextTable::pct(s.multi_fraction(Pattern::All)),
+               std::to_string(multi)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Paper (Table II): pipeline injections mostly produce corrupted ROWS\n"
+      "(45.4%%), scheduler injections corrupt the whole matrix (ALL 54.6%%);\n"
+      "whole COLUMNS are rare for both (t-MxM is row-major).\n");
+  return 0;
+}

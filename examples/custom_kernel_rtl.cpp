@@ -1,0 +1,56 @@
+// Custom-kernel RTL injection: write your own SASS-like kernel with the
+// KernelBuilder DSL, run it on the cycle-level SM model, and bombard a
+// module of your choice with transient faults — the workflow for
+// characterizing an instruction sequence the library does not ship.
+#include <cstdio>
+
+#include "rtlfi/campaign.hpp"
+
+using namespace gpufi;
+using namespace gpufi::isa;
+
+int main() {
+  // Kernel: out[i] = sin(x[i]) * sin(x[i]) + cos-ish chain, 64 threads.
+  rtlfi::Workload w;
+  w.name = "sin-square";
+  KernelBuilder kb(w.name);
+  kb.mov(0, S(SReg::TID_X));
+  kb.iadd(1, R(0), S(SReg::PARAM0));
+  kb.gld(2, R(1));        // x
+  kb.fsin(3, R(2));       // sin(x)   (SFU)
+  kb.fmul(4, R(3), R(3)); // sin^2    (FP32 unit)
+  kb.iadd(1, R(0), S(SReg::PARAM1));
+  kb.gst(R(1), R(4));
+  w.program = kb.build();
+  w.program.params = {0, 64, 0, 0, 0, 0, 0, 0};
+  w.dims = rtl::GridDims{1, 1, 64, 1};
+  w.out_base = 64;
+  w.out_words = 64;
+  w.thread_modulo = 64;
+  w.setup = [](rtl::Sm& sm) {
+    Rng rng(5);
+    for (unsigned i = 0; i < 64; ++i)
+      sm.write_float(i, static_cast<float>(rng.uniform(0.0, 1.5707)));
+    sm.fill(64, 64, 0);
+  };
+
+  std::printf("module                    AVF-SDC  AVF-DUE  multi-thr\n");
+  for (auto module : {rtl::Module::Fp32Fu, rtl::Module::Sfu,
+                      rtl::Module::SfuCtl, rtl::Module::Scheduler,
+                      rtl::Module::PipelineRegs}) {
+    rtlfi::CampaignConfig cfg;
+    cfg.module = module;
+    cfg.n_faults = 1200;
+    cfg.seed = 3;
+    const auto r = rtlfi::run_campaign(w, cfg);
+    std::printf("%-25s %6.2f%%  %6.2f%%  %6.1f%%\n",
+                std::string(rtl::module_name(module)).c_str(),
+                100 * r.avf_sdc(), 100 * r.avf_due(),
+                100 * r.multi_fraction());
+  }
+  std::printf(
+      "\nEvery flip-flop of Table I's modules is addressable; the detailed\n"
+      "records name the exact field each SDC came from (see\n"
+      "rtlfi::CampaignResult::records).\n");
+  return 0;
+}

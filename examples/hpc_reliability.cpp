@@ -1,0 +1,57 @@
+// HPC reliability study: evaluates one Rodinia-class application (Hotspot,
+// the paper's most masking-heavy code) against the full RTL syndrome
+// database, reporting the PVF gap between the naive bit-flip model and the
+// RTL-derived relative-error model, and where the surviving errors come
+// from.
+//
+// The syndrome database is built once and cached under gpufi_data/.
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "core/gpufi.hpp"
+#include "emu/profiler.hpp"
+#include "swfi/swfi.hpp"
+
+using namespace gpufi;
+
+int main() {
+  std::printf("building/loading the RTL syndrome database...\n");
+  const auto db = core::ensure_syndrome_database("gpufi_data/syndromes.db");
+
+  auto h = apps::make_hotspot(32, 8);
+
+  // Profile the application first, as NVBitFI's profile pass does.
+  emu::Device dev(h.app.device_words);
+  emu::Profiler prof;
+  if (!h.app.run(dev, &prof) || !h.validate(dev)) {
+    std::printf("golden run failed\n");
+    return 1;
+  }
+  std::printf("\n%s: %llu dynamic thread-instructions, %.0f%% in the 12 "
+              "characterized opcodes\n",
+              h.app.name.c_str(),
+              static_cast<unsigned long long>(prof.total()),
+              100 * prof.characterized_fraction());
+
+  for (auto model :
+       {swfi::FaultModel::SingleBitFlip, swfi::FaultModel::DoubleBitFlip,
+        swfi::FaultModel::RelativeError}) {
+    swfi::Config cfg;
+    cfg.model = model;
+    cfg.db = &db;
+    cfg.n_injections = 300;
+    cfg.seed = 17;
+    const auto r = swfi::run_sw_campaign(h.app, cfg);
+    std::printf("  %-16s: PVF %.3f +- %.3f   (SDC %zu / masked %zu / DUE %zu)\n",
+                std::string(fault_model_name(model)).c_str(), r.pvf(),
+                r.margin_of_error(), r.sdc, r.masked, r.due);
+  }
+
+  std::printf(
+      "\nHotspot masks a large share of injected faults: each CTA computes\n"
+      "an 8x8 pyramid block but commits only the 4x4 interior, so faults in\n"
+      "the discarded halo computation vanish. The RTL syndrome's larger\n"
+      "relative errors survive the remaining numeric masking more often\n"
+      "than single bit-flips — the paper's 48%% underestimation headline.\n");
+  return 0;
+}

@@ -1,0 +1,269 @@
+// gpufi — command-line driver for the two-level fault-injection framework.
+//
+//   gpufi modules                         list RTL fault targets (Table I)
+//   gpufi rtl <op> <module> [options]     one RTL campaign on a micro-benchmark
+//   gpufi tmxm <site> [options]           t-MxM characterization campaign
+//   gpufi build-db <path> [options]       full RTL characterization -> database
+//   gpufi sw <app> <model> [options]      software campaign on an HPC app
+//   gpufi cnn <net> <model> [options]     CNN campaign with criticality split
+//
+// Common options: --faults N / --injections N, --seed S, --db PATH.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "core/gpufi.hpp"
+#include "nn/gpu_infer.hpp"
+#include "rtlfi/campaign.hpp"
+#include "rtlfi/microbench.hpp"
+#include "swfi/swfi.hpp"
+
+using namespace gpufi;
+
+namespace {
+
+int usage() {
+  std::puts(
+      "usage:\n"
+      "  gpufi modules\n"
+      "  gpufi rtl <FADD|FMUL|FFMA|IADD|IMUL|IMAD|FSIN|FEXP|GLD|GST|BRA|"
+      "ISETP> <fp32|int|sfu|sfuctl|sched|pipe> [--range S|M|L] [--faults N] "
+      "[--seed S]\n"
+      "  gpufi tmxm <sched|pipe> [--tile max|zero|random] [--faults N]\n"
+      "  gpufi build-db <path> [--faults N]\n"
+      "  gpufi sw <mxm|gaussian|lud|hotspot|lava|quicksort> "
+      "<bitflip|doublebit|syndrome> [--injections N] [--db PATH]\n"
+      "  gpufi cnn <lenet|yolo> <bitflip|syndrome|tmxm> [--injections N] "
+      "[--db PATH] [--models DIR]\n");
+  return 2;
+}
+
+std::optional<isa::Opcode> parse_op(const std::string& s) {
+  for (unsigned i = 0; i < isa::kNumOpcodes; ++i) {
+    const auto op = static_cast<isa::Opcode>(i);
+    if (s == isa::mnemonic(op) && isa::is_characterized(op)) return op;
+  }
+  return std::nullopt;
+}
+
+std::optional<rtl::Module> parse_module(const std::string& s) {
+  if (s == "fp32") return rtl::Module::Fp32Fu;
+  if (s == "int") return rtl::Module::IntFu;
+  if (s == "sfu") return rtl::Module::Sfu;
+  if (s == "sfuctl") return rtl::Module::SfuCtl;
+  if (s == "sched") return rtl::Module::Scheduler;
+  if (s == "pipe") return rtl::Module::PipelineRegs;
+  return std::nullopt;
+}
+
+/// Pulls "--name value" pairs out of argv.
+struct Options {
+  std::size_t faults = 2000;
+  std::size_t injections = 300;
+  std::uint64_t seed = 1;
+  std::string db_path = "gpufi_data/syndromes.db";
+  std::string models_dir = "gpufi_data";
+  std::string range = "M";
+  std::string tile = "random";
+
+  static Options parse(int argc, char** argv, int first) {
+    Options o;
+    for (int i = first; i + 1 < argc; i += 2) {
+      const std::string key = argv[i];
+      const std::string val = argv[i + 1];
+      if (key == "--faults") o.faults = std::strtoull(val.c_str(), nullptr, 10);
+      else if (key == "--injections")
+        o.injections = std::strtoull(val.c_str(), nullptr, 10);
+      else if (key == "--seed") o.seed = std::strtoull(val.c_str(), nullptr, 10);
+      else if (key == "--db") o.db_path = val;
+      else if (key == "--models") o.models_dir = val;
+      else if (key == "--range") o.range = val;
+      else if (key == "--tile") o.tile = val;
+      else std::fprintf(stderr, "warning: unknown option %s\n", key.c_str());
+    }
+    return o;
+  }
+};
+
+void print_campaign(const rtlfi::CampaignResult& r) {
+  std::printf("injected       %zu (golden run: %llu cycles)\n", r.injected,
+              static_cast<unsigned long long>(r.golden_cycles));
+  std::printf("masked         %zu (%.2f%%)\n", r.masked,
+              100.0 * r.masked / r.injected);
+  std::printf("SDC single-thr %zu\n", r.sdc_single);
+  std::printf("SDC multi-thr  %zu (mean %.1f threads)\n", r.sdc_multi,
+              r.mean_corrupted_threads());
+  std::printf("DUE            %zu\n", r.due);
+  std::printf("AVF            %.3f%% +- %.3f%% (95%%)\n", 100 * r.avf(),
+              100 * r.margin_of_error());
+}
+
+int cmd_modules() {
+  std::printf("%-22s %10s %10s %10s\n", "module", "flip-flops", "data",
+              "control");
+  for (unsigned i = 0; i < rtl::kNumModules; ++i) {
+    const auto m = static_cast<rtl::Module>(i);
+    const auto& l = rtl::layouts().of(m);
+    std::printf("%-22s %10zu %10zu %10zu\n",
+                std::string(rtl::module_name(m)).c_str(), l.bits(),
+                l.data_bits(), l.control_bits());
+  }
+  return 0;
+}
+
+int cmd_rtl(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto op = parse_op(argv[2]);
+  const auto module = parse_module(argv[3]);
+  if (!op || !module) return usage();
+  const Options o = Options::parse(argc, argv, 4);
+  const auto range = o.range == "S"   ? rtlfi::InputRange::Small
+                     : o.range == "L" ? rtlfi::InputRange::Large
+                                      : rtlfi::InputRange::Medium;
+  const auto w = rtlfi::make_microbenchmark(*op, range, o.seed);
+  rtlfi::CampaignConfig cfg;
+  cfg.module = *module;
+  cfg.n_faults = o.faults;
+  cfg.seed = o.seed;
+  std::printf("== RTL campaign: %s on %s (%s inputs), %zu faults\n",
+              std::string(isa::mnemonic(*op)).c_str(),
+              std::string(rtl::module_name(*module)).c_str(),
+              std::string(rtlfi::range_name(range)).c_str(), o.faults);
+  print_campaign(rtlfi::run_campaign(w, cfg));
+  return 0;
+}
+
+int cmd_tmxm(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto site = parse_module(argv[2]);
+  if (!site) return usage();
+  const Options o = Options::parse(argc, argv, 3);
+  const auto kind = o.tile == "max"    ? rtlfi::TileKind::Max
+                    : o.tile == "zero" ? rtlfi::TileKind::Zero
+                                       : rtlfi::TileKind::Random;
+  rtlfi::CampaignConfig cfg;
+  cfg.module = *site;
+  cfg.n_faults = o.faults;
+  cfg.seed = o.seed;
+  std::printf("== t-MxM campaign: %s site, %s tile, %zu faults\n",
+              std::string(rtl::module_name(*site)).c_str(),
+              std::string(rtlfi::tile_name(kind)).c_str(), o.faults);
+  const auto r = rtlfi::run_campaign(rtlfi::make_tmxm(kind, o.seed), cfg);
+  print_campaign(r);
+  syndrome::Database db;
+  db.add_tmxm_campaign(*site, 8, 8, r);
+  const auto& stats = db.tmxm(*site);
+  std::printf("patterns:");
+  for (std::size_t p = 0; p < syndrome::kNumPatterns; ++p)
+    std::printf(" %s=%zu",
+                std::string(syndrome::pattern_name(
+                                static_cast<syndrome::Pattern>(p)))
+                    .c_str(),
+                stats.counts[p]);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_build_db(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Options o = Options::parse(argc, argv, 3);
+  core::RtlCharacterizationConfig cfg;
+  cfg.faults_per_campaign = o.faults;
+  std::printf("building syndrome database (%zu faults/campaign)...\n",
+              cfg.faults_per_campaign);
+  const auto db = core::build_syndrome_database(cfg);
+  db.save_file(argv[2]);
+  std::printf("wrote %s (%zu distributions)\n", argv[2], db.keys().size());
+  return 0;
+}
+
+int cmd_sw(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string app_name = argv[2];
+  const std::string model_name = argv[3];
+  const Options o = Options::parse(argc, argv, 4);
+  std::optional<apps::HpcApp> app;
+  if (app_name == "mxm") app = apps::make_mxm();
+  else if (app_name == "gaussian") app = apps::make_gaussian();
+  else if (app_name == "lud") app = apps::make_lud();
+  else if (app_name == "hotspot") app = apps::make_hotspot();
+  else if (app_name == "lava") app = apps::make_lava();
+  else if (app_name == "quicksort") app = apps::make_quicksort();
+  if (!app) return usage();
+  swfi::Config cfg;
+  cfg.n_injections = o.injections;
+  cfg.seed = o.seed;
+  std::optional<syndrome::Database> db;
+  if (model_name == "bitflip") cfg.model = swfi::FaultModel::SingleBitFlip;
+  else if (model_name == "doublebit")
+    cfg.model = swfi::FaultModel::DoubleBitFlip;
+  else if (model_name == "syndrome") {
+    cfg.model = swfi::FaultModel::RelativeError;
+    db = core::ensure_syndrome_database(o.db_path);
+    cfg.db = &*db;
+  } else {
+    return usage();
+  }
+  std::printf("== software campaign: %s under %s, %zu injections\n",
+              app->app.name.c_str(),
+              std::string(fault_model_name(cfg.model)).c_str(),
+              o.injections);
+  const auto r = swfi::run_sw_campaign(app->app, cfg);
+  std::printf("candidates %llu\nPVF        %.3f +- %.3f\nSDC %zu / masked "
+              "%zu / DUE %zu\n",
+              static_cast<unsigned long long>(r.candidate_instructions),
+              r.pvf(), r.margin_of_error(), r.sdc, r.masked, r.due);
+  return 0;
+}
+
+int cmd_cnn(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string net_name = argv[2];
+  const std::string model_name = argv[3];
+  const Options o = Options::parse(argc, argv, 4);
+  const auto db = core::ensure_syndrome_database(o.db_path);
+  const auto models = core::ensure_models(o.models_dir);
+  const bool lenet = net_name == "lenet";
+  if (!lenet && net_name != "yolo") return usage();
+  nn::CnnFaultModel model;
+  if (model_name == "bitflip") model = nn::CnnFaultModel::SingleBitFlip;
+  else if (model_name == "syndrome")
+    model = nn::CnnFaultModel::RelativeError;
+  else if (model_name == "tmxm") model = nn::CnnFaultModel::TiledMxM;
+  else return usage();
+  const auto r = nn::run_cnn_campaign(
+      lenet ? models.lenet : models.yololite,
+      lenet ? nn::CnnTask::Classification : nn::CnnTask::Detection, model,
+      &db, o.injections, o.seed);
+  std::printf("== %s under %s: %zu injections\n",
+              lenet ? "LeNet" : "YoloLite",
+              std::string(cnn_fault_model_name(model)).c_str(),
+              r.injections);
+  std::printf("PVF (SDC)  %.3f\ncritical   %.3f (%zu of %zu SDCs change "
+              "the decision)\nmasked %zu / DUE %zu\n",
+              r.pvf(), r.critical_rate(), r.critical, r.sdc, r.masked,
+              r.due);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "modules") return cmd_modules();
+    if (cmd == "rtl") return cmd_rtl(argc, argv);
+    if (cmd == "tmxm") return cmd_tmxm(argc, argv);
+    if (cmd == "build-db") return cmd_build_db(argc, argv);
+    if (cmd == "sw") return cmd_sw(argc, argv);
+    if (cmd == "cnn") return cmd_cnn(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

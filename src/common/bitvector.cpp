@@ -1,0 +1,88 @@
+#include "common/bitvector.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace gpufi {
+
+BitVector::BitVector(std::size_t bits)
+    : size_(bits), words_((bits + 63) / 64, 0) {}
+
+void BitVector::clear() {
+  for (auto& w : words_) w = 0;
+}
+
+bool BitVector::get(std::size_t i) const {
+  assert(i < size_);
+  return (words_[i >> 6] >> (i & 63)) & 1u;
+}
+
+void BitVector::set(std::size_t i, bool v) {
+  assert(i < size_);
+  const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+  if (v)
+    words_[i >> 6] |= mask;
+  else
+    words_[i >> 6] &= ~mask;
+}
+
+void BitVector::flip(std::size_t i) {
+  assert(i < size_);
+  words_[i >> 6] ^= std::uint64_t{1} << (i & 63);
+}
+
+std::uint64_t BitVector::get_field(std::size_t offset,
+                                   std::size_t width) const {
+  assert(width >= 1 && width <= 64);
+  assert(offset + width <= size_);
+  const std::size_t w = offset >> 6;
+  const std::size_t b = offset & 63;
+  std::uint64_t lo = words_[w] >> b;
+  if (b + width > 64) lo |= words_[w + 1] << (64 - b);
+  if (width == 64) return lo;
+  return lo & ((std::uint64_t{1} << width) - 1);
+}
+
+void BitVector::set_field(std::size_t offset, std::size_t width,
+                          std::uint64_t value) {
+  assert(width >= 1 && width <= 64);
+  assert(offset + width <= size_);
+  const std::uint64_t mask =
+      width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  value &= mask;
+  const std::size_t w = offset >> 6;
+  const std::size_t b = offset & 63;
+  words_[w] = (words_[w] & ~(mask << b)) | (value << b);
+  if (b + width > 64) {
+    const std::size_t hi_bits = b + width - 64;
+    const std::uint64_t hi_mask = (std::uint64_t{1} << hi_bits) - 1;
+    words_[w + 1] = (words_[w + 1] & ~hi_mask) | (value >> (64 - b));
+  }
+}
+
+std::size_t BitVector::popcount() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t w = words_[i];
+    // Mask tail bits of the last word (they are always zero by invariant,
+    // but be defensive).
+    if (i + 1 == words_.size() && (size_ & 63) != 0)
+      w &= (std::uint64_t{1} << (size_ & 63)) - 1;
+    n += static_cast<std::size_t>(std::popcount(w));
+  }
+  return n;
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+std::string BitVector::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace gpufi

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpufi {
+
+/// Dynamically sized vector of bits backed by 64-bit words.
+///
+/// This is the storage type for every faultable flip-flop bank in the RTL
+/// model: fault injection is `flip(i)` on a BitVector. Narrow fields (an
+/// 8-bit exponent, a 48-bit product, a 32-bit active mask) are packed as
+/// contiguous bit runs and accessed through get_field/set_field so that a
+/// single registry of (offset, width) describes a module's entire state.
+class BitVector {
+ public:
+  BitVector() = default;
+  /// Constructs `bits` zero bits.
+  explicit BitVector(std::size_t bits);
+
+  /// Number of bits.
+  std::size_t size() const { return size_; }
+
+  /// Resets every bit to zero without changing the size.
+  void clear();
+
+  /// Value of bit `i` (0-based).
+  bool get(std::size_t i) const;
+  /// Sets bit `i` to `v`.
+  void set(std::size_t i, bool v);
+  /// Inverts bit `i` (the fault-injection primitive).
+  void flip(std::size_t i);
+
+  /// Reads `width` (<= 64) bits starting at `offset`, LSB-first.
+  std::uint64_t get_field(std::size_t offset, std::size_t width) const;
+  /// Writes the low `width` (<= 64) bits of `value` starting at `offset`.
+  void set_field(std::size_t offset, std::size_t width, std::uint64_t value);
+
+  /// Number of set bits.
+  std::size_t popcount() const;
+
+  /// Bitwise equality (sizes must match for equality to hold).
+  bool operator==(const BitVector& other) const;
+
+  /// "01011..." rendering, bit 0 first. Intended for debugging and reports.
+  std::string to_string() const;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace gpufi

@@ -1,0 +1,104 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace gpufi {
+
+LogHistogram::LogHistogram(int lo_exp, int hi_exp, int per_decade)
+    : lo_exp_(lo_exp),
+      hi_exp_(hi_exp),
+      per_decade_(per_decade),
+      counts_(static_cast<std::size_t>((hi_exp - lo_exp) * per_decade) + 2,
+              0) {}
+
+void LogHistogram::add(double x) {
+  ++total_;
+  if (!(x > 0.0) || !std::isfinite(x)) {
+    ++counts_.front();
+    return;
+  }
+  const double pos = (std::log10(x) - lo_exp_) * per_decade_;
+  if (pos < 0.0) {
+    ++counts_.front();
+  } else if (pos >= static_cast<double>(buckets())) {
+    ++counts_.back();
+  } else {
+    ++counts_[static_cast<std::size_t>(pos) + 1];
+  }
+}
+
+double LogHistogram::bucket_lo(std::size_t i) const {
+  return std::pow(10.0, lo_exp_ + static_cast<double>(i) / per_decade_);
+}
+
+double LogHistogram::bucket_hi(std::size_t i) const {
+  return std::pow(10.0, lo_exp_ + static_cast<double>(i + 1) / per_decade_);
+}
+
+double LogHistogram::bucket_center(std::size_t i) const {
+  return std::sqrt(bucket_lo(i) * bucket_hi(i));
+}
+
+double LogHistogram::bucket_fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[i + 1]) / static_cast<double>(total_);
+}
+
+double LogHistogram::sample(Rng& rng) const {
+  if (total_ == 0) return 0.0;
+  std::size_t target = rng.below(total_);
+  std::size_t acc = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    acc += counts_[b];
+    if (target < acc) {
+      if (b == 0) return bucket_lo(0) * rng.uniform();  // underflow bucket
+      if (b == counts_.size() - 1) return bucket_hi(buckets() - 1);
+      const std::size_t i = b - 1;
+      // log-uniform inside the bucket
+      const double llo = std::log(bucket_lo(i));
+      const double lhi = std::log(bucket_hi(i));
+      return std::exp(rng.uniform(llo, lhi));
+    }
+  }
+  return bucket_center(buckets() - 1);
+}
+
+std::size_t LogHistogram::peak_bucket() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < buckets(); ++i)
+    if (counts_[i + 1] > counts_[best + 1]) best = i;
+  return best;
+}
+
+std::string LogHistogram::to_ascii(std::size_t width) const {
+  std::string out;
+  std::size_t max_count = 1;
+  for (std::size_t i = 0; i < buckets(); ++i)
+    max_count = std::max(max_count, counts_[i + 1]);
+  char line[160];
+  if (counts_.front() > 0) {
+    std::snprintf(line, sizeof line, "  <1e%+03d  %6zu\n", lo_exp_,
+                  counts_.front());
+    out += line;
+  }
+  for (std::size_t i = 0; i < buckets(); ++i) {
+    if (counts_[i + 1] == 0) continue;
+    const std::size_t bar = counts_[i + 1] * width / max_count;
+    std::snprintf(line, sizeof line, "  1e%+06.1f %6zu %5.1f%% |",
+                  std::log10(bucket_center(i)), counts_[i + 1],
+                  100.0 * bucket_fraction(i));
+    out += line;
+    out.append(bar, '#');
+    out.push_back('\n');
+  }
+  if (counts_.back() > 0) {
+    std::snprintf(line, sizeof line, "  >=1e%+03d %6zu\n", hi_exp_,
+                  counts_.back());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace gpufi

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gpufi {
+
+/// Logarithmically bucketed histogram over positive values.
+///
+/// This is the shape of Figures 5, 6 and 9 of the paper: relative-error
+/// magnitudes spanning 10^-8 .. 10^2 bucketed by decade (or finer). Also
+/// usable as an empirical sampler (inverse-transform over the bucket CDF)
+/// when a power-law fit is rejected.
+class LogHistogram {
+ public:
+  /// Buckets span [10^lo_exp, 10^hi_exp) with `per_decade` buckets per decade.
+  /// Two extra buckets catch underflow (< 10^lo_exp, including 0) and
+  /// overflow (>= 10^hi_exp).
+  LogHistogram(int lo_exp = -8, int hi_exp = 3, int per_decade = 1);
+
+  /// Records one (non-negative) observation.
+  void add(double x);
+
+  /// Total number of observations.
+  std::size_t count() const { return total_; }
+
+  /// Number of interior buckets (excluding under/overflow).
+  std::size_t buckets() const { return counts_.size() - 2; }
+
+  /// Count in interior bucket i.
+  std::size_t bucket_count(std::size_t i) const { return counts_[i + 1]; }
+  std::size_t underflow() const { return counts_.front(); }
+  std::size_t overflow() const { return counts_.back(); }
+
+  /// Geometric center of interior bucket i.
+  double bucket_center(std::size_t i) const;
+  /// Lower edge of interior bucket i.
+  double bucket_lo(std::size_t i) const;
+  /// Upper edge of interior bucket i.
+  double bucket_hi(std::size_t i) const;
+
+  /// Fraction of observations in interior bucket i (0 if empty histogram).
+  double bucket_fraction(std::size_t i) const;
+
+  /// Draws from the empirical distribution: picks a bucket by its observed
+  /// frequency then a log-uniform point inside it. Returns 0 if empty.
+  double sample(Rng& rng) const;
+
+  /// Index of the most populated interior bucket (the distribution "peak").
+  std::size_t peak_bucket() const;
+
+  /// Multi-line ASCII bar rendering, one row per non-empty bucket.
+  std::string to_ascii(std::size_t width = 50) const;
+
+ private:
+  int lo_exp_;
+  int hi_exp_;
+  int per_decade_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // [under, interior..., over]
+};
+
+}  // namespace gpufi

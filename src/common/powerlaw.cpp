@@ -1,0 +1,76 @@
+#include "common/powerlaw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/statistics.hpp"
+
+namespace gpufi {
+
+double PowerLaw::sample(Rng& rng) const {
+  const double r = rng.uniform();
+  return x_min * std::pow(1.0 - r, -1.0 / (alpha - 1.0));
+}
+
+double PowerLaw::cdf(double x) const {
+  if (x < x_min) return 0.0;
+  return 1.0 - std::pow(x / x_min, 1.0 - alpha);
+}
+
+double power_law_alpha(std::span<const double> sorted_samples, double x_min) {
+  double sum_log = 0.0;
+  std::size_t n = 0;
+  for (auto it = std::lower_bound(sorted_samples.begin(), sorted_samples.end(),
+                                  x_min);
+       it != sorted_samples.end(); ++it) {
+    sum_log += std::log(*it / x_min);
+    ++n;
+  }
+  if (n == 0 || sum_log <= 0.0) return 2.0;
+  return 1.0 + static_cast<double>(n) / sum_log;
+}
+
+PowerLaw fit_power_law(std::span<const double> samples,
+                       std::size_t n_xmin_candidates, std::size_t min_tail) {
+  std::vector<double> xs;
+  xs.reserve(samples.size());
+  for (double x : samples)
+    if (x > 0.0 && std::isfinite(x)) xs.push_back(x);
+  if (xs.size() < min_tail)
+    throw std::invalid_argument(
+        "fit_power_law: not enough positive finite samples");
+  std::sort(xs.begin(), xs.end());
+
+  // Candidate x_min values: distinct sample values, subsampled to the cap,
+  // and constrained so the tail keeps at least `min_tail` points.
+  std::vector<double> candidates;
+  const std::size_t max_start = xs.size() - min_tail;
+  std::size_t stride =
+      std::max<std::size_t>(1, (max_start + 1) / n_xmin_candidates);
+  double last = -1.0;
+  for (std::size_t i = 0; i <= max_start; i += stride) {
+    if (xs[i] != last) {
+      candidates.push_back(xs[i]);
+      last = xs[i];
+    }
+  }
+
+  PowerLaw best;
+  best.ks = 2.0;
+  for (double xmin : candidates) {
+    const double alpha = power_law_alpha(xs, xmin);
+    if (!(alpha > 1.0) || !std::isfinite(alpha)) continue;
+    const auto first =
+        std::lower_bound(xs.begin(), xs.end(), xmin) - xs.begin();
+    std::span<const double> tail(xs.data() + first, xs.size() - first);
+    PowerLaw m{alpha, xmin, 0.0, tail.size()};
+    m.ks = stats::ks_distance(tail, [&](double x) { return m.cdf(x); });
+    if (m.ks < best.ks) best = m;
+  }
+  if (best.ks > 1.5)
+    throw std::runtime_error("fit_power_law: no valid fit found");
+  return best;
+}
+
+}  // namespace gpufi

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gpufi {
+
+/// A fitted continuous power-law model p(x) ~ x^-alpha for x >= x_min.
+///
+/// This is the statistical form the paper finds for fault syndromes
+/// (Sec. V-C): "few events are predominant". Fitting follows Clauset,
+/// Shalizi & Newman, SIAM Review 51(4), 2009: alpha by maximum likelihood,
+/// x_min by minimizing the Kolmogorov–Smirnov distance between data tail and
+/// model.
+struct PowerLaw {
+  double alpha = 2.0;    ///< scaling exponent (> 1 for a proper distribution)
+  double x_min = 1e-12;  ///< lower cutoff of the power-law regime
+  double ks = 1.0;       ///< KS distance of the fit on the tail
+  std::size_t n_tail = 0;  ///< number of samples >= x_min used in the fit
+
+  /// Draws one sample via the inverse CDF — Eq. (1) of the paper:
+  ///   x = x_min * (1 - r)^(-1/(alpha-1)),  r ~ U[0,1).
+  double sample(Rng& rng) const;
+
+  /// Model CDF P(X <= x) for x >= x_min (0 below x_min).
+  double cdf(double x) const;
+};
+
+/// Fits a continuous power law to strictly positive samples.
+///
+/// `n_xmin_candidates` caps how many distinct candidate x_min values are
+/// scanned (all distinct values if the data is small). Throws
+/// std::invalid_argument if fewer than `min_tail` positive samples exist.
+PowerLaw fit_power_law(std::span<const double> samples,
+                       std::size_t n_xmin_candidates = 64,
+                       std::size_t min_tail = 8);
+
+/// MLE for alpha with a fixed x_min (continuous case):
+///   alpha = 1 + n / sum(ln(x_i / x_min)) over x_i >= x_min.
+double power_law_alpha(std::span<const double> sorted_samples, double x_min);
+
+}  // namespace gpufi

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gpufi {
+
+/// Deterministic, fast pseudo-random number generator (xoshiro256**).
+///
+/// Every stochastic component in the library (fault-list generation, syndrome
+/// sampling, workload generation) draws from an explicitly seeded Rng so that
+/// campaigns are reproducible run-to-run. Satisfies the C++
+/// UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit lanes from a single seed via splitmix64, the
+  /// initialization recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& lane : state_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 random bits (xoshiro256** scrambler).
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation (rejection-free for the
+    // common path); bias is negligible for our n << 2^64 but we reject anyway.
+    while (true) {
+      std::uint64_t x = (*this)();
+      __uint128_t m = static_cast<__uint128_t>(x) * n;
+      auto lo = static_cast<std::uint64_t>(m);
+      if (lo >= n || lo >= (-n) % n) return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Forks an independent generator (for per-worker streams).
+  Rng fork() { return Rng((*this)() ^ 0xd1b54a32d192ed03ull); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace gpufi

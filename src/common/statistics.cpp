@@ -1,0 +1,191 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace gpufi::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(n - 1));
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double normal_quantile(double p) {
+  if (p <= 0.0 || p >= 1.0)
+    throw std::invalid_argument("normal_quantile: p must be in (0,1)");
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double proportion_margin_of_error(double p_hat, std::size_t n,
+                                  double confidence) {
+  if (n == 0) return 1.0;
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+  return z * std::sqrt(p_hat * (1.0 - p_hat) / static_cast<double>(n));
+}
+
+std::size_t required_samples(double margin, double confidence) {
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+  const double n = z * z * 0.25 / (margin * margin);
+  return static_cast<std::size_t>(std::ceil(n));
+}
+
+ShapiroWilk shapiro_wilk(std::span<const double> xs) {
+  // Royston (1995) AS R94 approximation.
+  const std::size_t n = xs.size();
+  if (n < 3) return {1.0, 1.0};
+  std::vector<double> x(xs.begin(), xs.end());
+  std::sort(x.begin(), x.end());
+  if (x.front() == x.back()) return {1.0, 1.0};  // zero variance
+
+  const std::size_t half = n / 2;
+  std::vector<double> m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i] = normal_quantile((static_cast<double>(i + 1) - 0.375) /
+                           (static_cast<double>(n) + 0.25));
+  }
+  double msum = 0.0;
+  for (double v : m) msum += v * v;
+  const double rsn = 1.0 / std::sqrt(static_cast<double>(n));
+
+  std::vector<double> a(n, 0.0);
+  if (n <= 5) {
+    const double an = m[n - 1] / std::sqrt(msum);
+    a[n - 1] = -2.706056 * std::pow(rsn, 5) + 4.434685 * std::pow(rsn, 4) -
+               2.071190 * std::pow(rsn, 3) - 0.147981 * rsn * rsn +
+               0.221157 * rsn + an;
+    a[0] = -a[n - 1];
+    const double phi =
+        (msum - 2.0 * m[n - 1] * m[n - 1]) /
+        (1.0 - 2.0 * a[n - 1] * a[n - 1]);
+    for (std::size_t i = 1; i + 1 < n; ++i) a[i] = m[i] / std::sqrt(phi);
+  } else {
+    const double an =
+        -2.706056 * std::pow(rsn, 5) + 4.434685 * std::pow(rsn, 4) -
+        2.071190 * std::pow(rsn, 3) - 0.147981 * rsn * rsn + 0.221157 * rsn +
+        m[n - 1] / std::sqrt(msum);
+    const double an1 =
+        -3.582633 * std::pow(rsn, 5) + 5.682633 * std::pow(rsn, 4) -
+        1.752461 * std::pow(rsn, 3) - 0.293762 * rsn * rsn + 0.042981 * rsn +
+        m[n - 2] / std::sqrt(msum);
+    a[n - 1] = an;
+    a[n - 2] = an1;
+    a[0] = -an;
+    a[1] = -an1;
+    const double phi =
+        (msum - 2.0 * m[n - 1] * m[n - 1] - 2.0 * m[n - 2] * m[n - 2]) /
+        (1.0 - 2.0 * an * an - 2.0 * an1 * an1);
+    for (std::size_t i = 2; i + 2 < n; ++i) a[i] = m[i] / std::sqrt(phi);
+  }
+
+  // W statistic.
+  const double xm = mean(x);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < half; ++i)
+    num += a[n - 1 - i] * (x[n - 1 - i] - x[i]);
+  num *= num;
+  for (double v : x) den += (v - xm) * (v - xm);
+  double w = num / den;
+  w = std::min(w, 1.0);
+
+  // p-value via Royston's normalizing transforms.
+  double p;
+  const double nd = static_cast<double>(n);
+  if (n == 3) {
+    p = 6.0 / 3.14159265358979 *
+        (std::asin(std::sqrt(w)) - std::asin(std::sqrt(0.75)));
+    p = std::clamp(p, 0.0, 1.0);
+  } else if (n <= 11) {
+    const double g = -2.273 + 0.459 * nd;
+    const double mu = 0.5440 - 0.39978 * nd + 0.025054 * nd * nd -
+                      0.0006714 * nd * nd * nd;
+    const double sigma = std::exp(1.3822 - 0.77857 * nd + 0.062767 * nd * nd -
+                                  0.0020322 * nd * nd * nd);
+    const double y = -std::log(g - std::log1p(-w));
+    p = 1.0 - normal_cdf((y - mu) / sigma);
+  } else {
+    const double ln = std::log(nd);
+    const double mu = -1.5861 - 0.31082 * ln - 0.083751 * ln * ln +
+                      0.0038915 * ln * ln * ln;
+    const double sigma =
+        std::exp(-0.4803 - 0.082676 * ln + 0.0030302 * ln * ln);
+    const double y = std::log1p(-w);
+    p = 1.0 - normal_cdf((y - mu) / sigma);
+  }
+  return {w, std::clamp(p, 0.0, 1.0)};
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace gpufi::stats

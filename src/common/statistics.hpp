@@ -1,0 +1,68 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gpufi::stats {
+
+/// Sample mean. Returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample standard deviation (n-1 denominator). Returns 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// Median (of a copy; input untouched). Returns 0 for an empty span.
+double median(std::span<const double> xs);
+
+/// Quantile in [0,1] with linear interpolation. Returns 0 for an empty span.
+double quantile(std::span<const double> xs, double q);
+
+/// Half-width of the normal-approximation confidence interval for a
+/// proportion `p_hat` estimated from `n` Bernoulli trials, at confidence
+/// `confidence` (e.g. 0.95). This is the "margin of error" the paper quotes
+/// (<3% for 12k faults, <5% for 6k software injections).
+double proportion_margin_of_error(double p_hat, std::size_t n,
+                                  double confidence = 0.95);
+
+/// Number of Bernoulli trials needed for a worst-case (p=0.5) margin of error
+/// `e` at confidence `confidence`. E.g. margin 0.01 at 95% -> ~9604.
+std::size_t required_samples(double margin, double confidence = 0.95);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, |err|<1e-9).
+double normal_quantile(double p);
+
+/// Result of a Shapiro–Wilk normality test.
+struct ShapiroWilk {
+  double w = 0.0;        ///< W statistic in (0, 1]; 1 means perfectly normal.
+  double p_value = 0.0;  ///< approximate p-value (Royston 1995).
+};
+
+/// Shapiro–Wilk test for normality (Royston's AS R94 approximation, valid for
+/// 3 <= n <= 5000). The paper uses it to reject Gaussianity of the syndrome
+/// distributions (all p < 0.05). Inputs with zero variance return w=1, p=1.
+ShapiroWilk shapiro_wilk(std::span<const double> xs);
+
+/// One-sample Kolmogorov–Smirnov distance between the empirical CDF of `xs`
+/// and a callable model CDF.
+template <typename Cdf>
+double ks_distance(std::span<const double> sorted_xs, Cdf&& cdf) {
+  const std::size_t n = sorted_xs.size();
+  double d = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = cdf(sorted_xs[i]);
+    const double lo = static_cast<double>(i) / static_cast<double>(n);
+    const double hi = static_cast<double>(i + 1) / static_cast<double>(n);
+    d = std::max({d, f - lo, hi - f});
+  }
+  return d;
+}
+
+/// Pearson correlation coefficient. Returns 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace gpufi::stats

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gpufi {
+
+/// Minimal ASCII table formatter used by the bench binaries to print
+/// paper-style tables (Table I/II/III rows, Fig. 4/7/10 series).
+class TextTable {
+ public:
+  /// Sets the header row.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; its length must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  /// Formats a ratio as a percentage string ("12.34%").
+  static std::string pct(double v, int precision = 2);
+
+  /// Renders the table with column alignment and a separator rule.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gpufi

@@ -1,0 +1,123 @@
+#include "core/gpufi.hpp"
+
+#include <filesystem>
+
+#include "rtlfi/campaign.hpp"
+#include "rtlfi/microbench.hpp"
+
+namespace gpufi::core {
+
+using rtlfi::InputRange;
+using rtlfi::TileKind;
+
+namespace {
+
+/// Modules characterized for a given instruction (the functional units are
+/// idle for memory/control instructions; Sec. V-B).
+std::vector<rtl::Module> modules_for(isa::Opcode op) {
+  using isa::OpClass;
+  using rtl::Module;
+  std::vector<Module> mods{Module::Scheduler, Module::PipelineRegs};
+  switch (isa::op_class(op)) {
+    case OpClass::Fp32:
+      mods.push_back(Module::Fp32Fu);
+      break;
+    case OpClass::Int32:
+      mods.push_back(Module::IntFu);
+      break;
+    case OpClass::Special:
+      mods.push_back(Module::Sfu);
+      mods.push_back(Module::SfuCtl);
+      break;
+    default:
+      break;
+  }
+  return mods;
+}
+
+constexpr isa::Opcode kCharacterized[12] = {
+    isa::Opcode::FADD, isa::Opcode::FMUL, isa::Opcode::FFMA,
+    isa::Opcode::IADD, isa::Opcode::IMUL, isa::Opcode::IMAD,
+    isa::Opcode::FSIN, isa::Opcode::FEXP, isa::Opcode::GLD,
+    isa::Opcode::GST,  isa::Opcode::BRA,  isa::Opcode::ISETP,
+};
+
+}  // namespace
+
+syndrome::Database build_syndrome_database(
+    const RtlCharacterizationConfig& cfg) {
+  syndrome::Database db;
+  std::uint64_t seed = cfg.seed;
+  for (isa::Opcode op : kCharacterized) {
+    for (unsigned r = 0; r < rtlfi::kNumRanges; ++r) {
+      const auto range = static_cast<InputRange>(r);
+      for (rtl::Module module : modules_for(op)) {
+        rtlfi::CampaignResult merged;
+        for (std::size_t v = 0; v < cfg.value_seeds; ++v) {
+          const auto w = rtlfi::make_microbenchmark(op, range, 100 * r + v);
+          rtlfi::CampaignConfig cc;
+          cc.module = module;
+          cc.n_faults = cfg.faults_per_campaign / cfg.value_seeds;
+          cc.seed = ++seed;
+          merged.merge(rtlfi::run_campaign(w, cc));
+        }
+        db.add_campaign(syndrome::Key{module, op, range}, merged);
+      }
+    }
+  }
+  for (rtl::Module site :
+       {rtl::Module::Scheduler, rtl::Module::PipelineRegs}) {
+    for (TileKind kind : {TileKind::Max, TileKind::Zero, TileKind::Random}) {
+      const auto w = rtlfi::make_tmxm(kind, static_cast<unsigned>(kind) + 1);
+      rtlfi::CampaignConfig cc;
+      cc.module = site;
+      cc.n_faults = cfg.tmxm_faults;
+      cc.seed = ++seed;
+      db.add_tmxm_campaign(site, 8, 8, rtlfi::run_campaign(w, cc));
+    }
+  }
+  db.finalize();
+  return db;
+}
+
+syndrome::Database ensure_syndrome_database(
+    const std::string& path, const RtlCharacterizationConfig& cfg) {
+  if (std::filesystem::exists(path)) return syndrome::Database::load_file(path);
+  syndrome::Database db = build_syndrome_database(cfg);
+  const auto dir = std::filesystem::path(path).parent_path();
+  if (!dir.empty()) std::filesystem::create_directories(dir);
+  db.save_file(path);
+  return db;
+}
+
+Models ensure_models(const std::string& dir, unsigned lenet_steps,
+                     unsigned yolo_steps) {
+  std::filesystem::create_directories(dir);
+  const auto lenet_path = dir + "/lenet.gfnn";
+  const auto yolo_path = dir + "/yololite.gfnn";
+  Models m;
+  if (std::filesystem::exists(lenet_path) &&
+      std::filesystem::exists(yolo_path)) {
+    m.lenet = nn::Network::load_file(lenet_path);
+    m.yololite = nn::Network::load_file(yolo_path);
+    // Quality numbers are recomputed on a fresh holdout.
+    Rng rng(777);
+    unsigned ok = 0;
+    for (unsigned i = 0; i < 300; ++i) {
+      const auto s = nn::make_digit(rng);
+      ok += nn::classify(nn::host_forward(m.lenet, s.image)) == s.label;
+    }
+    m.lenet_accuracy = ok / 300.0;
+    return m;
+  }
+  Rng rng(42);
+  m.lenet = nn::make_lenet(rng);
+  m.lenet_accuracy = nn::train_lenet(m.lenet, rng, lenet_steps);
+  m.yololite = nn::make_yololite(rng);
+  m.yolo_f1 = nn::train_yololite(m.yololite, rng, yolo_steps);
+  m.lenet.save_file(lenet_path);
+  m.yololite.save_file(yolo_path);
+  return m;
+}
+
+}  // namespace gpufi::core

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+
+#include "nn/network.hpp"
+#include "syndrome/syndrome.hpp"
+
+namespace gpufi::core {
+
+/// Scale parameters for the RTL characterization that populates the
+/// syndrome database. The paper runs 144 campaigns of >12000 faults
+/// (1.7M+ injections); the defaults here are sized for a single-core
+/// machine and can be raised via `paper_scale()`.
+struct RtlCharacterizationConfig {
+  std::size_t faults_per_campaign = 1500;
+  std::size_t value_seeds = 2;     ///< input values averaged per range
+  std::size_t tmxm_faults = 2500;  ///< per (site, tile kind)
+  std::uint64_t seed = 2021;
+
+  /// The paper's published campaign scale (Sec. V-B).
+  static RtlCharacterizationConfig paper_scale() {
+    RtlCharacterizationConfig c;
+    c.faults_per_campaign = 12000 / 4;  // x4 value seeds = 12k per campaign
+    c.value_seeds = 4;
+    c.tmxm_faults = 12000;
+    return c;
+  }
+};
+
+/// Runs the full RTL characterization: every (module, instruction, input
+/// range) of Table I / Fig. 4 plus the t-MxM mini-app on scheduler and
+/// pipeline, and returns the populated, power-law-fitted syndrome database
+/// — the two-level framework's hand-off artifact.
+syndrome::Database build_syndrome_database(
+    const RtlCharacterizationConfig& cfg = {});
+
+/// Loads the syndrome database from `path`, or builds it with `cfg` and
+/// saves it there first. The expensive RTL characterization therefore runs
+/// once per configuration.
+syndrome::Database ensure_syndrome_database(
+    const std::string& path, const RtlCharacterizationConfig& cfg = {});
+
+/// Trained CNNs used by the paper's CNN experiments.
+struct Models {
+  nn::Network lenet;
+  nn::Network yololite;
+  double lenet_accuracy = 0.0;
+  double yolo_f1 = 0.0;
+};
+
+/// Trains LeNet and YoloLite on the synthetic datasets (or loads cached
+/// weights from `dir` if present) and reports holdout quality.
+Models ensure_models(const std::string& dir, unsigned lenet_steps = 4000,
+                     unsigned yolo_steps = 4000);
+
+}  // namespace gpufi::core

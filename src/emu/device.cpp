@@ -1,0 +1,416 @@
+#include "emu/device.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <new>
+#include <stdexcept>
+
+#include "isa/semantics.hpp"
+
+namespace gpufi::emu {
+
+using isa::Instr;
+using isa::Opcode;
+using isa::Operand;
+using isa::OperandKind;
+
+Device::Device(std::size_t global_words) : global_(global_words, 0) {}
+
+std::uint32_t Device::alloc(std::size_t words) {
+  if (alloc_watermark_ + words > global_.size()) throw std::bad_alloc();
+  const auto base = static_cast<std::uint32_t>(alloc_watermark_);
+  alloc_watermark_ += words;
+  return base;
+}
+
+std::uint32_t Device::read_word(std::uint32_t addr) const {
+  return global_.at(addr);
+}
+void Device::write_word(std::uint32_t addr, std::uint32_t value) {
+  global_.at(addr) = value;
+}
+float Device::read_float(std::uint32_t addr) const {
+  return std::bit_cast<float>(global_.at(addr));
+}
+void Device::write_float(std::uint32_t addr, float value) {
+  global_.at(addr) = std::bit_cast<std::uint32_t>(value);
+}
+
+void Device::copy_in(std::uint32_t addr, const std::uint32_t* src,
+                     std::size_t words) {
+  if (addr + words > global_.size()) throw std::out_of_range("copy_in");
+  std::copy(src, src + words, global_.begin() + addr);
+}
+void Device::copy_out(std::uint32_t addr, std::uint32_t* dst,
+                      std::size_t words) const {
+  if (addr + words > global_.size()) throw std::out_of_range("copy_out");
+  std::copy(global_.begin() + addr, global_.begin() + addr + words, dst);
+}
+void Device::copy_in_f(std::uint32_t addr, const float* src,
+                       std::size_t words) {
+  copy_in(addr, reinterpret_cast<const std::uint32_t*>(src), words);
+}
+void Device::copy_out_f(std::uint32_t addr, float* dst,
+                        std::size_t words) const {
+  copy_out(addr, reinterpret_cast<std::uint32_t*>(dst), words);
+}
+void Device::fill(std::uint32_t addr, std::size_t words,
+                  std::uint32_t value) {
+  if (addr + words > global_.size()) throw std::out_of_range("fill");
+  std::fill(global_.begin() + addr, global_.begin() + addr + words, value);
+}
+
+namespace {
+
+constexpr unsigned kWarpSize = isa::kWarpSize;
+constexpr std::size_t kMaxStackDepth = 64;
+
+/// One SIMT reconvergence-stack entry: execute at `pc` with `mask`, merge
+/// when `pc` reaches `rpc`.
+struct StackEntry {
+  std::int32_t pc = 0;
+  std::int32_t rpc = -1;
+  std::uint32_t mask = 0;
+};
+
+struct Warp {
+  std::vector<StackEntry> stack;
+  bool at_barrier = false;
+  bool done = false;
+
+  std::uint32_t active_mask() const {
+    return stack.empty() ? 0 : stack.back().mask;
+  }
+};
+
+/// Interpreter state for one CTA.
+struct CtaContext {
+  unsigned cta_index = 0;
+  unsigned cta_x = 0, cta_y = 0;
+  LaunchDims dims;
+  std::vector<std::uint32_t> regs;   // [thread][kNumRegs]
+  std::vector<std::uint8_t> preds;   // [thread][kNumPreds]
+  std::vector<std::uint32_t> shared;
+  std::vector<Warp> warps;
+
+  std::uint32_t& reg(unsigned tid, unsigned r) {
+    return regs[tid * isa::kNumRegs + r];
+  }
+  std::uint8_t& pred(unsigned tid, unsigned p) {
+    return preds[tid * isa::kNumPreds + p];
+  }
+};
+
+class Trap : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace
+
+LaunchResult Device::launch(const isa::Program& prog, const LaunchDims& dims,
+                            const LaunchConfig& cfg) {
+  LaunchResult result;
+  const unsigned tpc = dims.threads_per_cta();
+  if (tpc == 0 || dims.ctas() == 0) return result;
+  const auto code_size = static_cast<std::int32_t>(prog.code.size());
+  std::uint64_t retired = 0;
+
+  try {
+    for (unsigned cta = 0; cta < dims.ctas(); ++cta) {
+      CtaContext ctx;
+      ctx.cta_index = cta;
+      ctx.cta_x = cta % dims.grid_x;
+      ctx.cta_y = cta / dims.grid_x;
+      ctx.dims = dims;
+      ctx.regs.assign(static_cast<std::size_t>(tpc) * isa::kNumRegs, 0);
+      ctx.preds.assign(static_cast<std::size_t>(tpc) * isa::kNumPreds, 0);
+      ctx.shared.assign(prog.shared_words, 0);
+      const unsigned warps = (tpc + kWarpSize - 1) / kWarpSize;
+      ctx.warps.resize(warps);
+      for (unsigned w = 0; w < warps; ++w) {
+        const unsigned lo = w * kWarpSize;
+        const unsigned hi = std::min(tpc, lo + kWarpSize);
+        std::uint32_t mask = 0;
+        for (unsigned t = lo; t < hi; ++t) mask |= 1u << (t - lo);
+        ctx.warps[w].stack.push_back(StackEntry{0, -1, mask});
+      }
+
+      auto resolve = [&](const Operand& op, unsigned tid) -> std::uint32_t {
+        switch (op.kind) {
+          case OperandKind::Reg:
+            return ctx.reg(tid, op.value & (isa::kNumRegs - 1));
+          case OperandKind::Imm:
+            return op.value;
+          case OperandKind::Special:
+            switch (static_cast<isa::SReg>(op.value)) {
+              case isa::SReg::TID_X: return tid % dims.block_x;
+              case isa::SReg::TID_Y: return tid / dims.block_x;
+              case isa::SReg::NTID_X: return dims.block_x;
+              case isa::SReg::NTID_Y: return dims.block_y;
+              case isa::SReg::CTAID_X: return ctx.cta_x;
+              case isa::SReg::CTAID_Y: return ctx.cta_y;
+              case isa::SReg::NCTAID_X: return dims.grid_x;
+              case isa::SReg::NCTAID_Y: return dims.grid_y;
+              case isa::SReg::LANEID: return tid % kWarpSize;
+              default: {
+                const auto p = static_cast<unsigned>(op.value) -
+                               static_cast<unsigned>(isa::SReg::PARAM0);
+                return prog.params[p % isa::kNumParams];
+              }
+            }
+            return 0;
+          case OperandKind::None:
+            return 0;
+        }
+        return 0;
+      };
+
+      // Round-robin, one instruction per warp per turn: deterministic and
+      // fair, and barriers release exactly when every live warp arrives.
+      bool all_done = false;
+      while (!all_done) {
+        bool progressed = false;
+        all_done = true;
+        for (unsigned w = 0; w < warps; ++w) {
+          Warp& warp = ctx.warps[w];
+          if (warp.done) continue;
+          all_done = false;
+          if (warp.at_barrier) continue;
+          progressed = true;
+
+          StackEntry& top = warp.stack.back();
+          const std::int32_t pc = top.pc;
+          if (pc < 0 || pc >= code_size) throw Trap("invalid PC");
+          const Instr& instr = prog.code[pc];
+
+          // Per-thread guard evaluation.
+          std::uint32_t exec = 0;
+          for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            if (!(top.mask & (1u << lane))) continue;
+            const unsigned tid = w * kWarpSize + lane;
+            bool on = true;
+            if (instr.pred >= 0) {
+              on = ctx.pred(tid, static_cast<unsigned>(instr.pred) &
+                                     (isa::kNumPreds - 1)) != 0;
+              if (instr.pred_neg) on = !on;
+            }
+            if (on) exec |= 1u << lane;
+          }
+
+          // Retirement accounting + profiling hook (all participating
+          // threads, guarded-off threads do not retire).
+          auto count_retired = [&](std::uint32_t mask) {
+            for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+              if (!(mask & (1u << lane))) continue;
+              ++retired;
+              if (cfg.hook) {
+                RetireInfo info;
+                info.instr = &instr;
+                info.pc = pc;
+                info.thread = ThreadId{cta, w, lane, w * kWarpSize + lane};
+                info.dyn_index = retired - 1;
+                cfg.hook->on_count(info);
+              }
+            }
+          };
+
+          switch (instr.op) {
+            case Opcode::BRA: {
+              count_retired(exec);
+              const std::uint32_t not_taken = top.mask & ~exec;
+              if (not_taken == 0) {
+                if (instr.target < 0) throw Trap("BRA without target");
+                top.pc = instr.target;
+              } else if (exec == 0) {
+                top.pc = pc + 1;
+              } else {
+                if (instr.reconv < 0)
+                  throw Trap("divergent BRA without reconvergence point");
+                if (warp.stack.size() + 2 > kMaxStackDepth)
+                  throw Trap("SIMT stack overflow");
+                top.pc = instr.reconv;  // merged continuation
+                warp.stack.push_back(
+                    StackEntry{pc + 1, instr.reconv, not_taken});
+                warp.stack.push_back(
+                    StackEntry{instr.target, instr.reconv, exec});
+              }
+              break;
+            }
+            case Opcode::EXIT: {
+              count_retired(exec);
+              for (auto& entry : warp.stack) entry.mask &= ~exec;
+              // Remaining guarded-off threads continue past the EXIT.
+              top.pc = pc + 1;
+              break;
+            }
+            case Opcode::BAR: {
+              count_retired(exec);
+              warp.at_barrier = true;
+              top.pc = pc + 1;
+              break;
+            }
+            case Opcode::NOP: {
+              count_retired(exec);
+              top.pc = pc + 1;
+              break;
+            }
+            case Opcode::ISETP:
+            case Opcode::FSETP: {
+              for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+                if (!(exec & (1u << lane))) continue;
+                const unsigned tid = w * kWarpSize + lane;
+                const std::uint32_t a = resolve(instr.a, tid);
+                const std::uint32_t b = resolve(instr.b, tid);
+                bool v = instr.op == Opcode::ISETP
+                             ? isa::cmp_eval_i(instr.cmp, a, b)
+                             : isa::cmp_eval_f(instr.cmp, a, b);
+                ++retired;
+                if (cfg.hook) {
+                  RetireInfo info;
+                  info.instr = &instr;
+                  info.pc = pc;
+                  info.thread = ThreadId{cta, w, lane, tid};
+                  info.dyn_index = retired - 1;
+                  info.a = a;
+                  info.b = b;
+                  cfg.hook->on_count(info);
+                  cfg.hook->on_pred_retire(info, v);
+                }
+                ctx.pred(tid, instr.dst & (isa::kNumPreds - 1)) = v ? 1 : 0;
+              }
+              top.pc = pc + 1;
+              break;
+            }
+            case Opcode::GLD:
+            case Opcode::GST:
+            case Opcode::LDS:
+            case Opcode::STS: {
+              const bool is_load =
+                  instr.op == Opcode::GLD || instr.op == Opcode::LDS;
+              const bool is_global =
+                  instr.op == Opcode::GLD || instr.op == Opcode::GST;
+              for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+                if (!(exec & (1u << lane))) continue;
+                const unsigned tid = w * kWarpSize + lane;
+                const std::uint32_t base = resolve(instr.a, tid);
+                std::uint32_t addr =
+                    base + static_cast<std::uint32_t>(instr.imm);
+                const std::size_t limit =
+                    is_global ? global_.size() : ctx.shared.size();
+                if (addr >= limit) {
+                  if (!cfg.oob_wraps || limit == 0)
+                    throw Trap("out-of-bounds memory access");
+                  addr = static_cast<std::uint32_t>(addr % limit);
+                }
+                std::uint32_t value;
+                if (is_load) {
+                  value = is_global ? global_[addr] : ctx.shared[addr];
+                } else {
+                  value = resolve(instr.b, tid);
+                }
+                ++retired;
+                if (cfg.hook) {
+                  RetireInfo info;
+                  info.instr = &instr;
+                  info.pc = pc;
+                  info.thread = ThreadId{cta, w, lane, tid};
+                  info.dyn_index = retired - 1;
+                  info.a = base;
+                  info.b = value;
+                  cfg.hook->on_count(info);
+                  if (is_load) cfg.hook->on_retire(info, value);
+                }
+                if (is_load) {
+                  ctx.reg(tid, instr.dst & (isa::kNumRegs - 1)) = value;
+                } else {
+                  (is_global ? global_[addr] : ctx.shared[addr]) = value;
+                }
+              }
+              top.pc = pc + 1;
+              break;
+            }
+            default: {  // data-processing instructions
+              for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+                if (!(exec & (1u << lane))) continue;
+                const unsigned tid = w * kWarpSize + lane;
+                const std::uint32_t a = resolve(instr.a, tid);
+                const std::uint32_t b = resolve(instr.b, tid);
+                std::uint32_t c = 0;
+                bool c_pred = false;
+                if (instr.op == Opcode::SEL) {
+                  c_pred = ctx.pred(tid, instr.c.value &
+                                             (isa::kNumPreds - 1)) != 0;
+                } else {
+                  c = resolve(instr.c, tid);
+                }
+                std::uint32_t value =
+                    isa::alu_result(instr.op, a, b, c, c_pred);
+                ++retired;
+                if (cfg.hook) {
+                  RetireInfo info;
+                  info.instr = &instr;
+                  info.pc = pc;
+                  info.thread = ThreadId{cta, w, lane, tid};
+                  info.dyn_index = retired - 1;
+                  info.a = a;
+                  info.b = b;
+                  info.c = c;
+                  cfg.hook->on_count(info);
+                  cfg.hook->on_retire(info, value);
+                }
+                ctx.reg(tid, instr.dst & (isa::kNumRegs - 1)) = value;
+              }
+              top.pc = pc + 1;
+              break;
+            }
+          }
+
+          // Merge completed divergence regions and retire empty entries.
+          while (!warp.stack.empty()) {
+            StackEntry& t = warp.stack.back();
+            if (t.mask == 0 || (t.rpc >= 0 && t.pc == t.rpc)) {
+              // An emptied base entry means every thread exited.
+              if (warp.stack.size() == 1 && t.mask != 0) break;
+              warp.stack.pop_back();
+            } else {
+              break;
+            }
+          }
+          if (warp.stack.empty() || warp.stack.back().mask == 0) {
+            warp.done = true;
+          }
+
+          if (retired > cfg.max_retired) {
+            result.status = LaunchStatus::Timeout;
+            result.retired = retired;
+            return result;
+          }
+        }
+
+        // Barrier release: every live warp has arrived.
+        if (!all_done && !progressed) {
+          bool any_waiting = false;
+          for (auto& warp : ctx.warps)
+            any_waiting |= !warp.done && warp.at_barrier;
+          if (!any_waiting) throw Trap("scheduler deadlock");
+          for (auto& warp : ctx.warps) warp.at_barrier = false;
+        } else if (!all_done) {
+          // If all non-done warps are at the barrier, release them.
+          bool all_at_bar = true;
+          for (auto& warp : ctx.warps)
+            if (!warp.done && !warp.at_barrier) all_at_bar = false;
+          if (all_at_bar)
+            for (auto& warp : ctx.warps) warp.at_barrier = false;
+        }
+      }
+    }
+  } catch (const Trap& t) {
+    result.status = LaunchStatus::Trap;
+    result.trap_reason = t.what();
+  }
+  result.retired = retired;
+  return result;
+}
+
+}  // namespace gpufi::emu

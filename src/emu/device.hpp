@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace gpufi::emu {
+
+/// Grid/block launch geometry (x * y threads per CTA, x * y CTAs).
+struct LaunchDims {
+  unsigned grid_x = 1, grid_y = 1;
+  unsigned block_x = 1, block_y = 1;
+
+  unsigned threads_per_cta() const { return block_x * block_y; }
+  unsigned ctas() const { return grid_x * grid_y; }
+};
+
+/// Identifies one executing thread during instrumentation callbacks.
+struct ThreadId {
+  unsigned cta = 0;    ///< linear CTA index
+  unsigned warp = 0;   ///< warp index within the CTA
+  unsigned lane = 0;   ///< lane within the warp (0..31)
+  unsigned tid = 0;    ///< linear thread index within the CTA
+};
+
+/// Information passed to instrumentation on each retired instruction.
+struct RetireInfo {
+  const isa::Instr* instr = nullptr;
+  std::int32_t pc = 0;
+  ThreadId thread;
+  std::uint64_t dyn_index = 0;  ///< per-launch retirement counter (per thread-instruction)
+  std::uint32_t a = 0, b = 0, c = 0;  ///< resolved source operand values
+};
+
+/// NVBit-style instrumentation interface.
+///
+/// `on_retire` fires once per thread per retired value-producing
+/// instruction, after the result is computed and before it is written back;
+/// the callback may rewrite `value` (this is the software fault-injection
+/// primitive). `on_pred_retire` is the analogous hook for ISETP/FSETP.
+/// `on_count` fires once per thread per retired instruction of any kind
+/// (profiling).
+class InstrumentHook {
+ public:
+  virtual ~InstrumentHook() = default;
+  virtual void on_retire(const RetireInfo& /*info*/, std::uint32_t& /*value*/) {}
+  virtual void on_pred_retire(const RetireInfo& /*info*/, bool& /*value*/) {}
+  virtual void on_count(const RetireInfo& /*info*/) {}
+};
+
+/// Terminal status of a kernel launch.
+enum class LaunchStatus {
+  Ok,       ///< all threads exited
+  Trap,     ///< invalid PC, out-of-bounds access, divergence-stack overflow
+  Timeout,  ///< retired-instruction watchdog expired (hang)
+};
+
+/// Outcome and accounting of one launch.
+struct LaunchResult {
+  LaunchStatus status = LaunchStatus::Ok;
+  std::string trap_reason;
+  std::uint64_t retired = 0;  ///< total thread-instructions retired
+};
+
+/// Per-launch tunables.
+struct LaunchConfig {
+  /// Watchdog: maximum thread-instructions before declaring a hang.
+  /// 0 means "derive from a golden run" is not available; use the default.
+  std::uint64_t max_retired = 400'000'000;
+  InstrumentHook* hook = nullptr;
+  /// When true, out-of-range memory accesses wrap modulo the memory size
+  /// instead of trapping. This models a real GPU's large mapped address
+  /// space, where a corrupted address usually returns wrong data rather
+  /// than faulting — matching the paper's observation that software
+  /// syndrome injection produces no DUEs. The RTL model always traps.
+  bool oob_wraps = false;
+};
+
+/// Functional SIMT GPU device: flat word-addressed global memory plus a
+/// kernel interpreter with G80-style SIMT divergence stacks and CTA-wide
+/// barriers. This is the software level of the two-level framework: fast,
+/// architecturally visible state only.
+class Device {
+ public:
+  /// Creates a device with `global_words` words of global memory.
+  explicit Device(std::size_t global_words = 1 << 22);
+
+  /// Resets the allocation watermark (memory contents are untouched).
+  void reset_allocator() { alloc_watermark_ = 0; }
+
+  /// Bump-allocates `words` words of global memory; returns the word
+  /// address. Throws std::bad_alloc when the device is full.
+  std::uint32_t alloc(std::size_t words);
+
+  /// Word-accurate access to global memory (host side).
+  std::uint32_t read_word(std::uint32_t addr) const;
+  void write_word(std::uint32_t addr, std::uint32_t value);
+  float read_float(std::uint32_t addr) const;
+  void write_float(std::uint32_t addr, float value);
+
+  /// Bulk host<->device copies (word granularity).
+  void copy_in(std::uint32_t addr, const std::uint32_t* src,
+               std::size_t words);
+  void copy_out(std::uint32_t addr, std::uint32_t* dst,
+                std::size_t words) const;
+  void copy_in_f(std::uint32_t addr, const float* src, std::size_t words);
+  void copy_out_f(std::uint32_t addr, float* dst, std::size_t words) const;
+
+  /// Fills a region with a word value.
+  void fill(std::uint32_t addr, std::size_t words, std::uint32_t value);
+
+  std::size_t global_words() const { return global_.size(); }
+
+  /// Executes a kernel to completion (or trap/timeout).
+  LaunchResult launch(const isa::Program& prog, const LaunchDims& dims,
+                      const LaunchConfig& cfg = {});
+
+ private:
+  std::vector<std::uint32_t> global_;
+  std::size_t alloc_watermark_ = 0;
+};
+
+}  // namespace gpufi::emu

@@ -1,0 +1,23 @@
+#include "emu/profiler.hpp"
+
+namespace gpufi::emu {
+
+double Profiler::class_fraction(isa::OpClass cls) const {
+  const auto t = total();
+  if (t == 0) return 0.0;
+  // Disjoint partition matching Fig. 3: the five named buckets cover only
+  // the 12 RTL-characterized opcodes; everything else is "Others" (so
+  // LDS/STS, FSETP, BAR, plain MOV arithmetic etc. land in Other).
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < isa::kNumOpcodes; ++i) {
+    const auto op = static_cast<isa::Opcode>(i);
+    if (cls == isa::OpClass::Other) {
+      if (!isa::is_characterized(op)) n += counts_[i];
+    } else if (isa::is_characterized(op) && isa::op_class(op) == cls) {
+      n += counts_[i];
+    }
+  }
+  return static_cast<double>(n) / static_cast<double>(t);
+}
+
+}  // namespace gpufi::emu

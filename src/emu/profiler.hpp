@@ -1,0 +1,64 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "emu/device.hpp"
+#include "isa/isa.hpp"
+
+namespace gpufi::emu {
+
+/// Dynamic-instruction profiler (the NVBitFI "profile pass").
+///
+/// Counts retired thread-instructions per opcode; `class_fraction` yields
+/// the shares plotted in Fig. 3 of the paper (FP32 / INT32 / SFU / control /
+/// others), and `total` is the denominator the software injector uses to
+/// pick a uniformly random dynamic instruction.
+class Profiler : public InstrumentHook {
+ public:
+  void on_count(const RetireInfo& info) override {
+    ++counts_[static_cast<std::size_t>(info.instr->op)];
+  }
+
+  /// Retired count for one opcode.
+  std::uint64_t count(isa::Opcode op) const {
+    return counts_[static_cast<std::size_t>(op)];
+  }
+
+  /// Total retired thread-instructions.
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+
+  /// Total retired instructions among the 12 RTL-characterized opcodes.
+  std::uint64_t characterized_total() const {
+    std::uint64_t t = 0;
+    for (std::size_t i = 0; i < isa::kNumOpcodes; ++i)
+      if (isa::is_characterized(static_cast<isa::Opcode>(i))) t += counts_[i];
+    return t;
+  }
+
+  /// Fraction of retired instructions in a coarse class (Fig. 3 series).
+  /// Memory-class counts fold LDS/STS into the GLD/GST bucket as the paper
+  /// profile does; "Other" collects everything not characterized.
+  double class_fraction(isa::OpClass cls) const;
+
+  /// Fraction of dynamic instructions that are RTL-characterized (the paper
+  /// reports > 70% for its benchmarks).
+  double characterized_fraction() const {
+    const auto t = total();
+    return t == 0 ? 0.0
+                  : static_cast<double>(characterized_total()) /
+                        static_cast<double>(t);
+  }
+
+  void reset() { counts_.fill(0); }
+
+ private:
+  std::array<std::uint64_t, isa::kNumOpcodes> counts_{};
+};
+
+}  // namespace gpufi::emu

@@ -1,0 +1,228 @@
+#include "fparith/sfu.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+
+#include "fparith/fp32.hpp"
+
+namespace gpufi::fparith {
+
+namespace {
+
+constexpr int kSegments = 128;
+constexpr int kDxBits = 25;  // intra-segment offset precision (Q0.25)
+constexpr int kQ = 40;       // fixed-point scale of the accumulator
+
+/// Quadratic segment coefficients in Q.40 fixed point.
+struct Segment {
+  std::uint64_t c0;
+  std::int64_t c1;
+  std::int64_t c2;
+};
+
+/// Builds the 128-segment quadratic-interpolation table for f on [0,1].
+template <typename F>
+std::array<Segment, kSegments> build_table(F f) {
+  std::array<Segment, kSegments> t{};
+  const double scale = static_cast<double>(std::uint64_t{1} << kQ);
+  for (int i = 0; i < kSegments; ++i) {
+    const double s0 = static_cast<double>(i) / kSegments;
+    const double h = 1.0 / kSegments;
+    const double f0 = f(s0);
+    const double fm = f(s0 + 0.5 * h);
+    const double f1 = f(s0 + h);
+    // c0 + c1 t + c2 t^2 matching f at t = 0, 1/2, 1.
+    const double c1 = 4.0 * fm - 3.0 * f0 - f1;
+    const double c2 = 2.0 * f1 + 2.0 * f0 - 4.0 * fm;
+    t[i].c0 = static_cast<std::uint64_t>(std::llround(f0 * scale));
+    t[i].c1 = std::llround(c1 * scale);
+    t[i].c2 = std::llround(c2 * scale);
+  }
+  return t;
+}
+
+const std::array<Segment, kSegments>& sin_table() {
+  static const auto table =
+      build_table([](double u) { return std::sin(u * 1.5707963267948966); });
+  return table;
+}
+
+const std::array<Segment, kSegments>& exp2_table() {
+  static const auto table =
+      build_table([](double u) { return std::exp2(u); });
+  return table;
+}
+
+constexpr std::uint64_t kEven = 0x5555555555555555ull;
+constexpr std::uint32_t kQNaN = 0x7fc00000u;
+
+}  // namespace
+
+SfuS2 sfu_stage2(std::uint32_t x_bits, SfuFunc func) {
+  SfuS2 s;
+  s.func = func;
+  const Unpacked u = fp32_unpack(x_bits);
+  if (u.cls == FpClass::NaN) {
+    s.special = true;
+    s.special_bits = kQNaN;
+    return s;
+  }
+  const double x = static_cast<double>(std::bit_cast<float>(x_bits));
+  if (func == SfuFunc::Sin) {
+    if (u.cls == FpClass::Inf) {
+      s.special = true;
+      s.special_bits = kQNaN;
+      return s;
+    }
+    double a = x;
+    bool neg = false;
+    if (a < 0) {
+      a = -a;
+      neg = true;
+    }
+    // Reduced angle in quarter-turns.
+    const double t = a / 1.5707963267948966;
+    const double fl = std::floor(t);
+    const int q = static_cast<int>(std::fmod(fl, 4.0));
+    double frac = t - fl;
+    if (q == 1 || q == 3) frac = 1.0 - frac;  // fold the table argument
+    if (q >= 2) neg = !neg;
+    s.quadrant = static_cast<std::uint8_t>(q);
+    s.neg = neg;
+    s.u_fx = static_cast<std::uint64_t>(
+        std::llround(frac * static_cast<double>(std::uint64_t{1} << 32)));
+    if (s.u_fx > (std::uint64_t{1} << 32)) s.u_fx = std::uint64_t{1} << 32;
+    return s;
+  }
+  // exp: e^x = 2^(x * log2 e) = 2^k * 2^f.
+  if (u.cls == FpClass::Inf) {
+    s.special = true;
+    s.special_bits = u.sign ? 0u : 0x7f800000u;  // exp(-inf)=0, exp(inf)=inf
+    return s;
+  }
+  const double y = x * 1.4426950408889634;  // log2(e)
+  const double fl = std::floor(y);
+  if (fl > 129.0) {
+    s.special = true;
+    s.special_bits = 0x7f800000u;  // overflow to +inf
+    return s;
+  }
+  if (fl < -151.0) {
+    s.special = true;
+    s.special_bits = 0u;  // underflow to +0
+    return s;
+  }
+  s.k_exp = static_cast<std::int32_t>(fl);
+  double frac = y - fl;
+  s.u_fx = static_cast<std::uint64_t>(
+      std::llround(frac * static_cast<double>(std::uint64_t{1} << 32)));
+  if (s.u_fx > (std::uint64_t{1} << 32)) s.u_fx = std::uint64_t{1} << 32;
+  return s;
+}
+
+SfuS3 sfu_stage3(const SfuS2& s) {
+  SfuS3 o;
+  o.quadrant = s.quadrant;
+  o.neg = s.neg;
+  o.k_exp = s.k_exp;
+  o.func = s.func;
+  o.special = s.special;
+  o.special_bits = s.special_bits;
+  if (s.special) return o;
+  std::uint64_t u = s.u_fx;
+  if (u >= (std::uint64_t{1} << 32)) {
+    o.idx = kSegments - 1;
+    o.dx = std::uint32_t{1} << kDxBits;  // t == 1 exactly
+  } else {
+    o.idx = static_cast<std::uint8_t>(u >> (32 - 7));  // 7 index bits
+    o.dx = static_cast<std::uint32_t>((u >> (32 - 7 - kDxBits)) &
+                                      ((std::uint32_t{1} << kDxBits) - 1));
+  }
+  const Segment& seg = (s.func == SfuFunc::Sin ? sin_table()
+                                               : exp2_table())[o.idx];
+  o.c0 = seg.c0;
+  o.c1 = seg.c1;
+  o.c2 = seg.c2;
+  return o;
+}
+
+SfuS4 sfu_stage4(const SfuS3& s) {
+  SfuS4 o;
+  o.dx = s.dx;
+  o.c0 = s.c0;
+  o.quadrant = s.quadrant;
+  o.neg = s.neg;
+  o.k_exp = s.k_exp;
+  o.func = s.func;
+  o.special = s.special;
+  o.special_bits = s.special_bits;
+  if (s.special) return o;
+  o.c1_neg = s.c1 < 0;
+  o.c2_neg = s.c2 < 0;
+  const std::uint64_t p1 =
+      static_cast<std::uint64_t>(o.c1_neg ? -s.c1 : s.c1) * s.dx;
+  const std::uint64_t p2 =
+      static_cast<std::uint64_t>(o.c2_neg ? -s.c2 : s.c2) * s.dx;
+  // Redundant carry-save representation: the pair sums to the product.
+  o.t1_s = p1 & kEven;
+  o.t1_c = p1 & ~kEven;
+  o.t2_s = p2 & kEven;
+  o.t2_c = p2 & ~kEven;
+  return o;
+}
+
+SfuS5 sfu_stage5(const SfuS4& s) {
+  SfuS5 o;
+  o.quadrant = s.quadrant;
+  o.neg = s.neg;
+  o.k_exp = s.k_exp;
+  o.func = s.func;
+  o.special = s.special;
+  o.special_bits = s.special_bits;
+  if (s.special) return o;
+  const std::int64_t t1 =
+      static_cast<std::int64_t>((s.t1_s + s.t1_c) >> kDxBits);
+  // Second-order term: (c2*dx)*dx needs one more multiply by dx.
+  const std::uint64_t p2 = ((s.t2_s + s.t2_c) >> kDxBits) * s.dx;
+  const std::int64_t t2 = static_cast<std::int64_t>(p2 >> kDxBits);
+  o.acc = static_cast<std::int64_t>(s.c0) + (s.c1_neg ? -t1 : t1) +
+          (s.c2_neg ? -t2 : t2);
+  return o;
+}
+
+std::uint32_t sfu_stage6(const SfuS5& s) {
+  if (s.special) return s.special_bits;
+  std::int64_t acc = s.acc;
+  bool neg = s.neg;
+  if (acc < 0) {
+    // Interpolation rounding can dip just below zero near a root.
+    acc = -acc;
+    neg = !neg;
+  }
+  if (s.func == SfuFunc::Sin) {
+    return fp32_round_pack(neg, -kQ, static_cast<std::uint64_t>(acc), false);
+  }
+  return fp32_round_pack(false, static_cast<std::int64_t>(s.k_exp) - kQ,
+                         static_cast<std::uint64_t>(acc), false);
+}
+
+std::uint32_t sfu_sin_bits(std::uint32_t x_bits) {
+  return sfu_stage6(
+      sfu_stage5(sfu_stage4(sfu_stage3(sfu_stage2(x_bits, SfuFunc::Sin)))));
+}
+
+std::uint32_t sfu_exp_bits(std::uint32_t x_bits) {
+  return sfu_stage6(
+      sfu_stage5(sfu_stage4(sfu_stage3(sfu_stage2(x_bits, SfuFunc::Exp)))));
+}
+
+float sfu_sin(float x) {
+  return std::bit_cast<float>(sfu_sin_bits(std::bit_cast<std::uint32_t>(x)));
+}
+
+float sfu_exp(float x) {
+  return std::bit_cast<float>(sfu_exp_bits(std::bit_cast<std::uint32_t>(x)));
+}
+
+}  // namespace gpufi::fparith

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+
+namespace gpufi::fparith {
+
+/// Function selector for the Special Function Unit.
+enum class SfuFunc : std::uint8_t { Sin = 0, Exp = 1 };
+
+/// Stage 2 state: range-reduced argument.
+///
+/// Range reduction itself (x -> quadrant + normalized fraction for sin,
+/// x -> 2^k * 2^f decomposition for exp) is performed with deterministic
+/// double-precision arithmetic in the issue path; the reduced argument is
+/// latched in SFU flip-flops, which is where faults strike.
+struct SfuS2 {
+  std::uint64_t u_fx = 0;  ///< fraction in [0,1] as Q0.32 (33 bits: 2^32 == 1)
+  std::uint8_t quadrant = 0;  ///< sin: quadrant 0..3 of the reduced angle
+  bool neg = false;           ///< sin: result sign
+  std::int32_t k_exp = 0;     ///< exp: power-of-two scale (result *= 2^k)
+  SfuFunc func = SfuFunc::Sin;
+  bool special = false;        ///< result already decided (NaN/Inf/overflow)
+  std::uint32_t special_bits = 0;
+};
+
+/// Stage 3 state: table lookup (quadratic coefficients for the segment).
+struct SfuS3 {
+  std::uint8_t idx = 0;     ///< segment index (7 bits, 128 segments)
+  std::uint32_t dx = 0;     ///< intra-segment offset, Q0.25
+  std::uint64_t c0 = 0;     ///< f(s) in Q1.40 (<= 2^41)
+  std::int64_t c1 = 0;      ///< first-order coefficient, Q.40 (36-bit signed)
+  std::int64_t c2 = 0;      ///< second-order coefficient, Q.40 (28-bit signed)
+  // carried metadata
+  std::uint8_t quadrant = 0;
+  bool neg = false;
+  std::int32_t k_exp = 0;
+  SfuFunc func = SfuFunc::Sin;
+  bool special = false;
+  std::uint32_t special_bits = 0;
+};
+
+/// Stage 4 state: carry-save partial products of the interpolation.
+///
+/// Products are held as redundant sum/carry vector pairs (t*_s + t*_c equals
+/// the product), mirroring the carry-save accumulation trees of a real SFU;
+/// a fault in either vector perturbs the product in a position-dependent,
+/// non-obvious way.
+struct SfuS4 {
+  std::uint64_t t1_s = 0, t1_c = 0;  ///< c1 * dx (61-bit pair)
+  std::uint64_t t2_s = 0, t2_c = 0;  ///< c2 * dx (53-bit pair)
+  std::uint32_t dx = 0;              ///< kept for the second-order multiply
+  std::uint64_t c0 = 0;
+  bool c1_neg = false, c2_neg = false;
+  std::uint8_t quadrant = 0;
+  bool neg = false;
+  std::int32_t k_exp = 0;
+  SfuFunc func = SfuFunc::Sin;
+  bool special = false;
+  std::uint32_t special_bits = 0;
+};
+
+/// Stage 5 state: accumulated fixed-point result.
+struct SfuS5 {
+  std::int64_t acc = 0;  ///< result in Q.40 (c0 + c1 dx + c2 dx^2)
+  std::uint8_t quadrant = 0;
+  bool neg = false;
+  std::int32_t k_exp = 0;
+  SfuFunc func = SfuFunc::Sin;
+  bool special = false;
+  std::uint32_t special_bits = 0;
+};
+
+/// Range reduction (issue path): raw operand bits -> reduced argument.
+SfuS2 sfu_stage2(std::uint32_t x_bits, SfuFunc func);
+/// Table lookup: segment coefficients.
+SfuS3 sfu_stage3(const SfuS2& s);
+/// Interpolation multiplies (carry-save form).
+SfuS4 sfu_stage4(const SfuS3& s);
+/// Accumulation.
+SfuS5 sfu_stage5(const SfuS4& s);
+/// Sign/scale application, normalization and packing to binary32.
+std::uint32_t sfu_stage6(const SfuS5& s);
+
+/// One-shot canonical evaluations (run the staged pipeline to completion).
+std::uint32_t sfu_sin_bits(std::uint32_t x_bits);
+std::uint32_t sfu_exp_bits(std::uint32_t x_bits);
+
+/// Canonical GPU sine (absolute error <~ 2e-7 on [-2pi, 2pi]).
+float sfu_sin(float x);
+/// Canonical GPU natural exponential (relative error <~ 3e-7).
+float sfu_exp(float x);
+
+}  // namespace gpufi::fparith

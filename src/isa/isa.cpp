@@ -1,0 +1,462 @@
+#include "isa/isa.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gpufi::isa {
+
+Operand Operand::imm_f(float v) {
+  return {OperandKind::Imm, std::bit_cast<std::uint32_t>(v)};
+}
+
+bool is_characterized(Opcode op) {
+  return static_cast<std::uint8_t>(op) <=
+         static_cast<std::uint8_t>(Opcode::ISETP);
+}
+
+OpClass op_class(Opcode op) {
+  switch (op) {
+    case Opcode::FADD:
+    case Opcode::FMUL:
+    case Opcode::FFMA:
+      return OpClass::Fp32;
+    case Opcode::IADD:
+    case Opcode::IMUL:
+    case Opcode::IMAD:
+      return OpClass::Int32;
+    case Opcode::FSIN:
+    case Opcode::FEXP:
+      return OpClass::Special;
+    case Opcode::GLD:
+    case Opcode::GST:
+    case Opcode::LDS:
+    case Opcode::STS:
+      return OpClass::Memory;
+    case Opcode::BRA:
+    case Opcode::ISETP:
+    case Opcode::FSETP:
+    case Opcode::BAR:
+    case Opcode::EXIT:
+      return OpClass::Control;
+    default:
+      return OpClass::Other;
+  }
+}
+
+std::string_view mnemonic(Opcode op) {
+  switch (op) {
+    case Opcode::FADD: return "FADD";
+    case Opcode::FMUL: return "FMUL";
+    case Opcode::FFMA: return "FFMA";
+    case Opcode::IADD: return "IADD";
+    case Opcode::IMUL: return "IMUL";
+    case Opcode::IMAD: return "IMAD";
+    case Opcode::FSIN: return "FSIN";
+    case Opcode::FEXP: return "FEXP";
+    case Opcode::GLD: return "GLD";
+    case Opcode::GST: return "GST";
+    case Opcode::BRA: return "BRA";
+    case Opcode::ISETP: return "ISETP";
+    case Opcode::MOV: return "MOV";
+    case Opcode::FSETP: return "FSETP";
+    case Opcode::SHL: return "SHL";
+    case Opcode::SHR: return "SHR";
+    case Opcode::AND: return "AND";
+    case Opcode::OR: return "OR";
+    case Opcode::XOR: return "XOR";
+    case Opcode::IMIN: return "IMIN";
+    case Opcode::IMAX: return "IMAX";
+    case Opcode::I2F: return "I2F";
+    case Opcode::F2I: return "F2I";
+    case Opcode::FMNMX: return "FMNMX";
+    case Opcode::FRCP: return "FRCP";
+    case Opcode::SEL: return "SEL";
+    case Opcode::LDS: return "LDS";
+    case Opcode::STS: return "STS";
+    case Opcode::BAR: return "BAR";
+    case Opcode::EXIT: return "EXIT";
+    case Opcode::NOP: return "NOP";
+  }
+  return "???";
+}
+
+std::string_view cmp_name(CmpOp c) {
+  switch (c) {
+    case CmpOp::EQ: return "eq";
+    case CmpOp::NE: return "ne";
+    case CmpOp::LT: return "lt";
+    case CmpOp::LE: return "le";
+    case CmpOp::GT: return "gt";
+    case CmpOp::GE: return "ge";
+  }
+  return "??";
+}
+
+std::string_view sreg_name(SReg s) {
+  switch (s) {
+    case SReg::TID_X: return "%tid.x";
+    case SReg::TID_Y: return "%tid.y";
+    case SReg::NTID_X: return "%ntid.x";
+    case SReg::NTID_Y: return "%ntid.y";
+    case SReg::CTAID_X: return "%ctaid.x";
+    case SReg::CTAID_Y: return "%ctaid.y";
+    case SReg::NCTAID_X: return "%nctaid.x";
+    case SReg::NCTAID_Y: return "%nctaid.y";
+    case SReg::LANEID: return "%laneid";
+    case SReg::PARAM0: return "param[0]";
+    case SReg::PARAM1: return "param[1]";
+    case SReg::PARAM2: return "param[2]";
+    case SReg::PARAM3: return "param[3]";
+    case SReg::PARAM4: return "param[4]";
+    case SReg::PARAM5: return "param[5]";
+    case SReg::PARAM6: return "param[6]";
+    case SReg::PARAM7: return "param[7]";
+  }
+  return "%?";
+}
+
+bool Instr::writes_gpr() const {
+  switch (op) {
+    case Opcode::GST:
+    case Opcode::STS:
+    case Opcode::BRA:
+    case Opcode::ISETP:
+    case Opcode::FSETP:
+    case Opcode::BAR:
+    case Opcode::EXIT:
+    case Opcode::NOP:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool Instr::writes_pred() const {
+  return op == Opcode::ISETP || op == Opcode::FSETP;
+}
+
+namespace {
+
+std::string operand_str(const Operand& o) {
+  char buf[48];
+  switch (o.kind) {
+    case OperandKind::None:
+      return "";
+    case OperandKind::Reg:
+      std::snprintf(buf, sizeof buf, "R%u", o.value);
+      return buf;
+    case OperandKind::Imm: {
+      const float f = std::bit_cast<float>(o.value);
+      // Heuristic rendering: plausible floats as floats, else as ints.
+      const std::uint32_t exp = (o.value >> 23) & 0xff;
+      if (o.value != 0 && exp > 64 && exp < 192) {
+        std::snprintf(buf, sizeof buf, "%g", static_cast<double>(f));
+      } else {
+        std::snprintf(buf, sizeof buf, "%d",
+                      static_cast<std::int32_t>(o.value));
+      }
+      return buf;
+    }
+    case OperandKind::Special:
+      return std::string(sreg_name(static_cast<SReg>(o.value)));
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Instr::to_string() const {
+  std::string s;
+  char buf[64];
+  if (pred >= 0) {
+    std::snprintf(buf, sizeof buf, "@%sP%d ", pred_neg ? "!" : "", pred);
+    s += buf;
+  }
+  s += mnemonic(op);
+  if (op == Opcode::ISETP || op == Opcode::FSETP) {
+    s += '.';
+    s += cmp_name(cmp);
+    std::snprintf(buf, sizeof buf, " P%u, ", dst);
+    s += buf;
+    s += operand_str(a) + ", " + operand_str(b);
+    return s;
+  }
+  if (op == Opcode::BRA) {
+    std::snprintf(buf, sizeof buf, " %d (reconv %d)", target, reconv);
+    s += buf;
+    return s;
+  }
+  if (op == Opcode::GLD || op == Opcode::LDS) {
+    std::snprintf(buf, sizeof buf, " R%u, [%s%+d]", dst,
+                  operand_str(a).c_str(), imm);
+    s += buf;
+    return s;
+  }
+  if (op == Opcode::GST || op == Opcode::STS) {
+    std::snprintf(buf, sizeof buf, " [%s%+d], %s", operand_str(a).c_str(),
+                  imm, operand_str(b).c_str());
+    s += buf;
+    return s;
+  }
+  if (op == Opcode::BAR || op == Opcode::EXIT || op == Opcode::NOP) return s;
+  std::snprintf(buf, sizeof buf, " R%u", dst);
+  s += buf;
+  for (const Operand* o : {&a, &b, &c}) {
+    if (o->kind == OperandKind::None) break;
+    s += ", " + operand_str(*o);
+  }
+  if (op == Opcode::SEL) {
+    std::snprintf(buf, sizeof buf, ", P%u", c.value);
+    // SEL carries its predicate in c as a pred index; printed above via loop
+  }
+  return s;
+}
+
+std::string Program::to_string() const {
+  std::string out = name + ":\n";
+  char buf[32];
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%4zu: ", i);
+    out += buf;
+    out += code[i].to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// KernelBuilder
+// ---------------------------------------------------------------------------
+
+Instr KernelBuilder::with_guard(Instr i) {
+  i.pred = pending_pred_;
+  i.pred_neg = pending_pred_neg_;
+  pending_pred_ = -1;
+  pending_pred_neg_ = false;
+  return i;
+}
+
+KernelBuilder& KernelBuilder::emit(Instr i) {
+  prog_.code.push_back(with_guard(i));
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::pred(std::uint8_t p, bool negate) {
+  pending_pred_ = static_cast<std::int8_t>(p);
+  pending_pred_neg_ = negate;
+  return *this;
+}
+
+namespace {
+Instr make3(Opcode op, std::uint8_t d, Operand a, Operand b,
+            Operand c = Operand::none()) {
+  Instr i;
+  i.op = op;
+  i.dst = d;
+  i.a = a;
+  i.b = b;
+  i.c = c;
+  return i;
+}
+}  // namespace
+
+KernelBuilder& KernelBuilder::fadd(std::uint8_t d, Operand a, Operand b) {
+  return emit(make3(Opcode::FADD, d, a, b));
+}
+KernelBuilder& KernelBuilder::fmul(std::uint8_t d, Operand a, Operand b) {
+  return emit(make3(Opcode::FMUL, d, a, b));
+}
+KernelBuilder& KernelBuilder::ffma(std::uint8_t d, Operand a, Operand b,
+                                   Operand c) {
+  return emit(make3(Opcode::FFMA, d, a, b, c));
+}
+KernelBuilder& KernelBuilder::iadd(std::uint8_t d, Operand a, Operand b) {
+  return emit(make3(Opcode::IADD, d, a, b));
+}
+KernelBuilder& KernelBuilder::imul(std::uint8_t d, Operand a, Operand b) {
+  return emit(make3(Opcode::IMUL, d, a, b));
+}
+KernelBuilder& KernelBuilder::imad(std::uint8_t d, Operand a, Operand b,
+                                   Operand c) {
+  return emit(make3(Opcode::IMAD, d, a, b, c));
+}
+KernelBuilder& KernelBuilder::fsin(std::uint8_t d, Operand a) {
+  return emit(make3(Opcode::FSIN, d, a, Operand::none()));
+}
+KernelBuilder& KernelBuilder::fexp(std::uint8_t d, Operand a) {
+  return emit(make3(Opcode::FEXP, d, a, Operand::none()));
+}
+KernelBuilder& KernelBuilder::gld(std::uint8_t d, Operand addr,
+                                  std::int32_t offset) {
+  Instr i = make3(Opcode::GLD, d, addr, Operand::none());
+  i.imm = offset;
+  return emit(i);
+}
+KernelBuilder& KernelBuilder::gst(Operand addr, Operand value,
+                                  std::int32_t offset) {
+  Instr i = make3(Opcode::GST, 0, addr, value);
+  i.imm = offset;
+  return emit(i);
+}
+KernelBuilder& KernelBuilder::lds(std::uint8_t d, Operand addr,
+                                  std::int32_t offset) {
+  Instr i = make3(Opcode::LDS, d, addr, Operand::none());
+  i.imm = offset;
+  return emit(i);
+}
+KernelBuilder& KernelBuilder::sts(Operand addr, Operand value,
+                                  std::int32_t offset) {
+  Instr i = make3(Opcode::STS, 0, addr, value);
+  i.imm = offset;
+  return emit(i);
+}
+KernelBuilder& KernelBuilder::mov(std::uint8_t d, Operand a) {
+  return emit(make3(Opcode::MOV, d, a, Operand::none()));
+}
+KernelBuilder& KernelBuilder::movi(std::uint8_t d, std::int32_t v) {
+  return mov(d, Operand::imm_i(v));
+}
+KernelBuilder& KernelBuilder::movf(std::uint8_t d, float v) {
+  return mov(d, Operand::imm_f(v));
+}
+KernelBuilder& KernelBuilder::isetp(std::uint8_t p, CmpOp c, Operand a,
+                                    Operand b) {
+  Instr i = make3(Opcode::ISETP, p, a, b);
+  i.cmp = c;
+  return emit(i);
+}
+KernelBuilder& KernelBuilder::fsetp(std::uint8_t p, CmpOp c, Operand a,
+                                    Operand b) {
+  Instr i = make3(Opcode::FSETP, p, a, b);
+  i.cmp = c;
+  return emit(i);
+}
+KernelBuilder& KernelBuilder::shl(std::uint8_t d, Operand a, Operand b) {
+  return emit(make3(Opcode::SHL, d, a, b));
+}
+KernelBuilder& KernelBuilder::shr(std::uint8_t d, Operand a, Operand b) {
+  return emit(make3(Opcode::SHR, d, a, b));
+}
+KernelBuilder& KernelBuilder::and_(std::uint8_t d, Operand a, Operand b) {
+  return emit(make3(Opcode::AND, d, a, b));
+}
+KernelBuilder& KernelBuilder::or_(std::uint8_t d, Operand a, Operand b) {
+  return emit(make3(Opcode::OR, d, a, b));
+}
+KernelBuilder& KernelBuilder::xor_(std::uint8_t d, Operand a, Operand b) {
+  return emit(make3(Opcode::XOR, d, a, b));
+}
+KernelBuilder& KernelBuilder::imin(std::uint8_t d, Operand a, Operand b) {
+  return emit(make3(Opcode::IMIN, d, a, b));
+}
+KernelBuilder& KernelBuilder::imax(std::uint8_t d, Operand a, Operand b) {
+  return emit(make3(Opcode::IMAX, d, a, b));
+}
+KernelBuilder& KernelBuilder::i2f(std::uint8_t d, Operand a) {
+  return emit(make3(Opcode::I2F, d, a, Operand::none()));
+}
+KernelBuilder& KernelBuilder::f2i(std::uint8_t d, Operand a) {
+  return emit(make3(Opcode::F2I, d, a, Operand::none()));
+}
+KernelBuilder& KernelBuilder::fmnmx(std::uint8_t d, Operand a, Operand b) {
+  return emit(make3(Opcode::FMNMX, d, a, b));
+}
+KernelBuilder& KernelBuilder::frcp(std::uint8_t d, Operand a) {
+  return emit(make3(Opcode::FRCP, d, a, Operand::none()));
+}
+KernelBuilder& KernelBuilder::sel(std::uint8_t d, Operand a, Operand b,
+                                  std::uint8_t p) {
+  Instr i = make3(Opcode::SEL, d, a, b);
+  i.c = Operand{OperandKind::None, p};  // predicate index carried in c.value
+  return emit(i);
+}
+KernelBuilder& KernelBuilder::bar() { return emit(Instr{.op = Opcode::BAR}); }
+KernelBuilder& KernelBuilder::exit() {
+  return emit(Instr{.op = Opcode::EXIT});
+}
+KernelBuilder& KernelBuilder::nop() { return emit(Instr{.op = Opcode::NOP}); }
+
+KernelBuilder& KernelBuilder::if_begin(std::uint8_t p, bool negate) {
+  // @<!>P BRA <after-then>: threads where the guard does NOT hold skip.
+  Instr bra{.op = Opcode::BRA};
+  bra.pred = static_cast<std::int8_t>(p);
+  bra.pred_neg = !negate;  // branch away when condition is false
+  ifs_.push_back(IfFrame{prog_.code.size()});
+  prog_.code.push_back(bra);
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::else_begin() {
+  if (ifs_.empty()) throw std::logic_error("else_begin without if_begin");
+  IfFrame& f = ifs_.back();
+  if (f.has_else) throw std::logic_error("duplicate else_begin");
+  // Unconditional-for-then-threads jump over the else branch.
+  Instr bra{.op = Opcode::BRA};
+  f.else_bra = prog_.code.size();
+  prog_.code.push_back(bra);
+  // Patch the if-BRA to land at the start of the else branch.
+  prog_.code[f.bra_index].target =
+      static_cast<std::int32_t>(prog_.code.size());
+  f.has_else = true;
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::if_end() {
+  if (ifs_.empty()) throw std::logic_error("if_end without if_begin");
+  IfFrame f = ifs_.back();
+  ifs_.pop_back();
+  const auto end_pc = static_cast<std::int32_t>(prog_.code.size());
+  if (f.has_else) {
+    prog_.code[f.else_bra].target = end_pc;
+    prog_.code[f.else_bra].reconv = end_pc;
+  } else {
+    prog_.code[f.bra_index].target = end_pc;
+  }
+  prog_.code[f.bra_index].reconv = end_pc;
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::loop_begin() {
+  loops_.push_back(LoopFrame{here()});
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::loop_while(std::uint8_t p, bool negate) {
+  if (loops_.empty()) throw std::logic_error("loop_while without loop_begin");
+  Instr bra{.op = Opcode::BRA};
+  bra.pred = static_cast<std::int8_t>(p);
+  bra.pred_neg = !negate;  // exit the loop when the condition is false
+  loops_.back().exit_bra = prog_.code.size();
+  prog_.code.push_back(bra);
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::loop_end() {
+  if (loops_.empty()) throw std::logic_error("loop_end without loop_begin");
+  LoopFrame f = loops_.back();
+  loops_.pop_back();
+  // Backward branch to the condition evaluation.
+  Instr back{.op = Opcode::BRA};
+  back.target = f.top;
+  back.reconv = -1;  // uniform within the still-active subset
+  prog_.code.push_back(back);
+  const auto end_pc = static_cast<std::int32_t>(prog_.code.size());
+  if (f.exit_bra != SIZE_MAX) {
+    prog_.code[f.exit_bra].target = end_pc;
+    prog_.code[f.exit_bra].reconv = end_pc;
+  }
+  return *this;
+}
+
+Program KernelBuilder::build() {
+  if (built_) throw std::logic_error("KernelBuilder::build called twice");
+  if (!ifs_.empty() || !loops_.empty())
+    throw std::logic_error("KernelBuilder::build with open control flow");
+  if (prog_.code.empty() || prog_.code.back().op != Opcode::EXIT)
+    prog_.code.push_back(Instr{.op = Opcode::EXIT});
+  built_ = true;
+  return std::move(prog_);
+}
+
+}  // namespace gpufi::isa

@@ -1,0 +1,300 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpufi::isa {
+
+/// SASS-like machine opcodes.
+///
+/// The first twelve are the instructions characterized at RTL in the paper
+/// (Sec. III): floating point (FADD, FMUL, FFMA), integer (IADD, IMUL, IMAD),
+/// transcendental (FSIN, FEXP), memory (GLD, GST) and control (BRA, ISETP).
+/// The remainder are the support operations needed to express realistic
+/// kernels; they fall in the paper's "Others" profile bucket.
+enum class Opcode : std::uint8_t {
+  // --- characterized instructions -------------------------------------
+  FADD,   ///< d = a + b            (FP32)
+  FMUL,   ///< d = a * b            (FP32)
+  FFMA,   ///< d = a * b + c        (FP32 fused multiply-add)
+  IADD,   ///< d = a + b            (INT32, wraparound)
+  IMUL,   ///< d = a * b            (INT32, low 32 bits)
+  IMAD,   ///< d = a * b + c        (INT32, low 32 bits)
+  FSIN,   ///< d = sin(a)           (SFU)
+  FEXP,   ///< d = exp(a)           (SFU; natural exponential)
+  GLD,    ///< d = global[a + imm]  (word addressed)
+  GST,    ///< global[a + imm] = b
+  BRA,    ///< branch to `target` (divergent if guarded and threads disagree)
+  ISETP,  ///< pred[dst] = cmp(a, b) (integer compare)
+
+  // --- support instructions -------------------------------------------
+  MOV,    ///< d = a (register/immediate/special-register move)
+  FSETP,  ///< pred[dst] = cmp(a, b) on FP32 values
+  SHL,    ///< d = a << (b & 31)
+  SHR,    ///< d = a >> (b & 31)    (logical)
+  AND,    ///< d = a & b
+  OR,     ///< d = a | b
+  XOR,    ///< d = a ^ b
+  IMIN,   ///< d = min(a, b)        (signed)
+  IMAX,   ///< d = max(a, b)        (signed)
+  I2F,    ///< d = float(int(a))
+  F2I,    ///< d = int(trunc(float(a)))
+  FMNMX,  ///< d = pred ? min(a,b) : max(a,b) -- here: plain fmin (b>=a? a:b)
+  FRCP,   ///< d = 1.0f / a (reciprocal; "Others" bucket, not characterized)
+  SEL,    ///< d = guard-pred-true ? a : b    (per-thread select on pred c)
+  LDS,    ///< d = shared[a + imm]  (word addressed)
+  STS,    ///< shared[a + imm] = b
+  BAR,    ///< CTA-wide barrier
+  EXIT,   ///< thread terminates
+  NOP,    ///< no operation
+};
+
+/// Total number of opcodes.
+constexpr std::size_t kNumOpcodes = static_cast<std::size_t>(Opcode::NOP) + 1;
+
+/// True for the 12 instructions with an RTL-characterized syndrome.
+bool is_characterized(Opcode op);
+
+/// Coarse instruction classes used by the profile figure (Fig. 3) and by the
+/// syndrome database grouping.
+enum class OpClass : std::uint8_t {
+  Fp32,     ///< FADD, FMUL, FFMA
+  Int32,    ///< IADD, IMUL, IMAD
+  Special,  ///< FSIN, FEXP
+  Memory,   ///< GLD, GST (and LDS/STS for profiling purposes)
+  Control,  ///< BRA, ISETP, FSETP, BAR, EXIT
+  Other,    ///< everything else
+};
+
+/// Class of an opcode.
+OpClass op_class(Opcode op);
+
+/// Mnemonic ("FFMA", "ISETP", ...).
+std::string_view mnemonic(Opcode op);
+
+/// Comparison condition for ISETP/FSETP.
+enum class CmpOp : std::uint8_t { EQ, NE, LT, LE, GT, GE };
+
+/// Mnemonic suffix (".eq", ".lt", ...).
+std::string_view cmp_name(CmpOp c);
+
+/// Special (read-only) hardware registers readable via MOV.
+///
+/// PARAM0..7 are kernel parameters (typically buffer base addresses),
+/// loaded at launch. On the RTL model they live in the warp scheduler's
+/// parameter bank — faultable state, matching the paper's observation that
+/// the scheduler controller stores memory addresses.
+enum class SReg : std::uint8_t {
+  TID_X,     ///< thread index within CTA, x
+  TID_Y,     ///< thread index within CTA, y
+  NTID_X,    ///< CTA dimension, x
+  NTID_Y,    ///< CTA dimension, y
+  CTAID_X,   ///< CTA index within grid, x
+  CTAID_Y,   ///< CTA index within grid, y
+  NCTAID_X,  ///< grid dimension, x
+  NCTAID_Y,  ///< grid dimension, y
+  LANEID,    ///< lane within warp (0..31)
+  PARAM0,    ///< kernel parameter 0
+  PARAM1,
+  PARAM2,
+  PARAM3,
+  PARAM4,
+  PARAM5,
+  PARAM6,
+  PARAM7,
+};
+
+/// Number of kernel parameter slots.
+constexpr unsigned kNumParams = 8;
+
+/// Name of a special register ("%tid.x", ...).
+std::string_view sreg_name(SReg s);
+
+/// Kind of a source operand.
+enum class OperandKind : std::uint8_t { None, Reg, Imm, Special };
+
+/// A source operand: a general-purpose register, a 32-bit immediate (raw
+/// bits; may encode an int or a float), or a special register.
+struct Operand {
+  OperandKind kind = OperandKind::None;
+  std::uint32_t value = 0;  ///< reg index, raw immediate bits, or SReg
+
+  static Operand none() { return {}; }
+  static Operand reg(std::uint8_t r) { return {OperandKind::Reg, r}; }
+  static Operand imm_bits(std::uint32_t bits) {
+    return {OperandKind::Imm, bits};
+  }
+  static Operand imm_i(std::int32_t v) {
+    return {OperandKind::Imm, static_cast<std::uint32_t>(v)};
+  }
+  static Operand imm_f(float v);
+  static Operand special(SReg s) {
+    return {OperandKind::Special, static_cast<std::uint32_t>(s)};
+  }
+
+  bool operator==(const Operand&) const = default;
+};
+
+/// Number of 32-bit general-purpose registers per thread.
+constexpr unsigned kNumRegs = 32;
+/// Number of 1-bit predicate registers per thread.
+constexpr unsigned kNumPreds = 4;
+/// Threads per warp.
+constexpr unsigned kWarpSize = 32;
+
+/// One decoded machine instruction.
+///
+/// Instructions are held decoded (no binary encoding layer): both the RTL
+/// model and the emulator consume this struct directly, mirroring how NVBit
+/// exposes decoded SASS to instrumentation tools.
+struct Instr {
+  Opcode op = Opcode::NOP;
+  std::uint8_t dst = 0;       ///< destination GPR, or predicate for *SETP
+  Operand a, b, c;            ///< source operands
+  std::int32_t imm = 0;       ///< address offset for GLD/GST/LDS/STS
+  std::int32_t target = -1;   ///< branch target (instruction index)
+  std::int32_t reconv = -1;   ///< reconvergence point for divergent BRA
+  CmpOp cmp = CmpOp::EQ;      ///< condition for ISETP/FSETP
+  std::int8_t pred = -1;      ///< guard predicate index, -1 = unguarded
+  bool pred_neg = false;      ///< guard is @!P rather than @P
+
+  /// True if this instruction writes a general-purpose register.
+  bool writes_gpr() const;
+  /// True if this instruction writes a predicate register.
+  bool writes_pred() const;
+
+  /// SASS-flavoured disassembly, e.g. "@!P0 FFMA R4, R1, R2, R4".
+  std::string to_string() const;
+};
+
+/// A kernel: a straight vector of instructions plus launch metadata.
+struct Program {
+  std::string name = "kernel";
+  std::vector<Instr> code;
+  unsigned shared_words = 0;  ///< shared-memory words per CTA
+  /// Kernel parameter values (read through SReg::PARAMi); typically buffer
+  /// base addresses, set by the host before launch.
+  std::array<std::uint32_t, kNumParams> params{};
+
+  /// Multi-line disassembly with instruction indices.
+  std::string to_string() const;
+};
+
+/// Structured-control-flow assembler for Program construction.
+///
+/// The builder emits BRA instructions with explicit reconvergence points so
+/// both execution engines can implement a G80-style SIMT stack without
+/// post-dominator analysis. Control flow must be structured (if/else and
+/// while built through this API); that is the same constraint real CUDA
+/// compilers honour when emitting SSY.
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name) { prog_.name = std::move(name); }
+
+  /// Reserves `words` words of shared memory per CTA.
+  KernelBuilder& shared(unsigned words) {
+    prog_.shared_words = words;
+    return *this;
+  }
+
+  // -- plain instruction emitters (return *this for chaining) ----------
+
+  /// Emits an arbitrary pre-built instruction.
+  KernelBuilder& emit(Instr i);
+
+  KernelBuilder& fadd(std::uint8_t d, Operand a, Operand b);
+  KernelBuilder& fmul(std::uint8_t d, Operand a, Operand b);
+  KernelBuilder& ffma(std::uint8_t d, Operand a, Operand b, Operand c);
+  KernelBuilder& iadd(std::uint8_t d, Operand a, Operand b);
+  KernelBuilder& imul(std::uint8_t d, Operand a, Operand b);
+  KernelBuilder& imad(std::uint8_t d, Operand a, Operand b, Operand c);
+  KernelBuilder& fsin(std::uint8_t d, Operand a);
+  KernelBuilder& fexp(std::uint8_t d, Operand a);
+  KernelBuilder& gld(std::uint8_t d, Operand addr, std::int32_t offset = 0);
+  KernelBuilder& gst(Operand addr, Operand value, std::int32_t offset = 0);
+  KernelBuilder& lds(std::uint8_t d, Operand addr, std::int32_t offset = 0);
+  KernelBuilder& sts(Operand addr, Operand value, std::int32_t offset = 0);
+  KernelBuilder& mov(std::uint8_t d, Operand a);
+  KernelBuilder& movi(std::uint8_t d, std::int32_t v);
+  KernelBuilder& movf(std::uint8_t d, float v);
+  KernelBuilder& isetp(std::uint8_t p, CmpOp c, Operand a, Operand b);
+  KernelBuilder& fsetp(std::uint8_t p, CmpOp c, Operand a, Operand b);
+  KernelBuilder& shl(std::uint8_t d, Operand a, Operand b);
+  KernelBuilder& shr(std::uint8_t d, Operand a, Operand b);
+  KernelBuilder& and_(std::uint8_t d, Operand a, Operand b);
+  KernelBuilder& or_(std::uint8_t d, Operand a, Operand b);
+  KernelBuilder& xor_(std::uint8_t d, Operand a, Operand b);
+  KernelBuilder& imin(std::uint8_t d, Operand a, Operand b);
+  KernelBuilder& imax(std::uint8_t d, Operand a, Operand b);
+  KernelBuilder& i2f(std::uint8_t d, Operand a);
+  KernelBuilder& f2i(std::uint8_t d, Operand a);
+  KernelBuilder& fmnmx(std::uint8_t d, Operand a, Operand b);
+  KernelBuilder& frcp(std::uint8_t d, Operand a);
+  /// d = P[p] ? a : b  (per-thread select)
+  KernelBuilder& sel(std::uint8_t d, Operand a, Operand b, std::uint8_t p);
+  KernelBuilder& bar();
+  KernelBuilder& exit();
+  KernelBuilder& nop();
+
+  /// Applies a guard predicate to the *next* emitted instruction.
+  KernelBuilder& pred(std::uint8_t p, bool negate = false);
+
+  // -- structured control flow ------------------------------------------
+
+  /// Opens an `if (P[p]) { ... }` region (executes body where P holds).
+  KernelBuilder& if_begin(std::uint8_t p, bool negate = false);
+  /// Switches to the else branch of the innermost open if.
+  KernelBuilder& else_begin();
+  /// Closes the innermost if/else.
+  KernelBuilder& if_end();
+
+  /// Opens a while loop; `emit_cond` must set predicate p (checked at top).
+  /// Usage: loop_begin(); <cond instrs setting P>; loop_while(p); <body>;
+  ///        loop_end();
+  KernelBuilder& loop_begin();
+  /// Tests predicate p: threads where !P exit the loop.
+  KernelBuilder& loop_while(std::uint8_t p, bool negate = false);
+  /// Closes the innermost loop (branches back to loop_begin).
+  KernelBuilder& loop_end();
+
+  /// Current instruction index (for manual label math in tests).
+  std::int32_t here() const { return static_cast<std::int32_t>(prog_.code.size()); }
+
+  /// Finalizes and returns the program. Appends a trailing EXIT if the last
+  /// instruction cannot terminate the kernel. Throws if control-flow regions
+  /// are still open.
+  Program build();
+
+ private:
+  struct IfFrame {
+    std::size_t bra_index;        ///< forward BRA to patch
+    std::size_t else_bra = SIZE_MAX;  ///< BRA at end of then-branch
+    bool has_else = false;
+  };
+  struct LoopFrame {
+    std::int32_t top;              ///< pc of loop condition start
+    std::size_t exit_bra = SIZE_MAX;  ///< forward BRA out of the loop
+  };
+
+  Instr with_guard(Instr i);
+
+  Program prog_;
+  std::vector<IfFrame> ifs_;
+  std::vector<LoopFrame> loops_;
+  std::int8_t pending_pred_ = -1;
+  bool pending_pred_neg_ = false;
+  bool built_ = false;
+};
+
+/// Short alias used pervasively in kernel code: R(3) == Operand::reg(3).
+inline Operand R(std::uint8_t r) { return Operand::reg(r); }
+/// Integer immediate operand.
+inline Operand I(std::int32_t v) { return Operand::imm_i(v); }
+/// Float immediate operand.
+inline Operand F(float v) { return Operand::imm_f(v); }
+/// Special-register operand.
+inline Operand S(SReg s) { return Operand::special(s); }
+
+}  // namespace gpufi::isa

@@ -1,0 +1,99 @@
+#include "isa/semantics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "fparith/fp32.hpp"
+#include "fparith/sfu.hpp"
+
+namespace gpufi::isa {
+
+namespace {
+std::int32_t as_i(std::uint32_t v) { return static_cast<std::int32_t>(v); }
+float as_f(std::uint32_t v) { return std::bit_cast<float>(v); }
+}  // namespace
+
+std::uint32_t alu_result(Opcode op, std::uint32_t a, std::uint32_t b,
+                         std::uint32_t c, bool c_pred) {
+  using fparith::FpOp;
+  switch (op) {
+    case Opcode::FADD:
+      return fparith::fma_bits(a, b, 0, FpOp::Add);
+    case Opcode::FMUL:
+      return fparith::fma_bits(a, b, 0, FpOp::Mul);
+    case Opcode::FFMA:
+      return fparith::fma_bits(a, b, c, FpOp::Fma);
+    case Opcode::IADD:
+      return a + b;
+    case Opcode::IMUL:
+      return fparith::imad_bits(a, b, 0);
+    case Opcode::IMAD:
+      return fparith::imad_bits(a, b, c);
+    case Opcode::FSIN:
+      return fparith::sfu_sin_bits(a);
+    case Opcode::FEXP:
+      return fparith::sfu_exp_bits(a);
+    case Opcode::MOV:
+      return a;
+    case Opcode::SHL:
+      return a << (b & 31u);
+    case Opcode::SHR:
+      return a >> (b & 31u);
+    case Opcode::AND:
+      return a & b;
+    case Opcode::OR:
+      return a | b;
+    case Opcode::XOR:
+      return a ^ b;
+    case Opcode::IMIN:
+      return as_i(a) < as_i(b) ? a : b;
+    case Opcode::IMAX:
+      return as_i(a) > as_i(b) ? a : b;
+    case Opcode::I2F:
+      return fparith::i2f_bits(a);
+    case Opcode::F2I:
+      return fparith::f2i_bits(a);
+    case Opcode::FRCP:
+      return std::bit_cast<std::uint32_t>(1.0f / as_f(a));
+    case Opcode::FMNMX: {
+      const float fa = as_f(a), fb = as_f(b);
+      if (std::isnan(fa)) return b;
+      if (std::isnan(fb)) return a;
+      return fa <= fb ? a : b;
+    }
+    case Opcode::SEL:
+      return c_pred ? a : b;
+    default:
+      throw std::logic_error("alu_result: not a data-processing opcode");
+  }
+}
+
+bool cmp_eval_i(CmpOp cmp, std::uint32_t a, std::uint32_t b) {
+  const std::int32_t x = as_i(a), y = as_i(b);
+  switch (cmp) {
+    case CmpOp::EQ: return x == y;
+    case CmpOp::NE: return x != y;
+    case CmpOp::LT: return x < y;
+    case CmpOp::LE: return x <= y;
+    case CmpOp::GT: return x > y;
+    case CmpOp::GE: return x >= y;
+  }
+  return false;
+}
+
+bool cmp_eval_f(CmpOp cmp, std::uint32_t a, std::uint32_t b) {
+  const float x = as_f(a), y = as_f(b);
+  if (std::isnan(x) || std::isnan(y)) return cmp == CmpOp::NE;
+  switch (cmp) {
+    case CmpOp::EQ: return x == y;
+    case CmpOp::NE: return x != y;
+    case CmpOp::LT: return x < y;
+    case CmpOp::LE: return x <= y;
+    case CmpOp::GT: return x > y;
+    case CmpOp::GE: return x >= y;
+  }
+  return false;
+}
+
+}  // namespace gpufi::isa

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "isa/isa.hpp"
+
+namespace gpufi::isa {
+
+/// Pure functional result of a data-processing instruction.
+///
+/// `a`, `b`, `c` are the resolved operand bit patterns; `c_pred` is the
+/// value of the predicate consumed by SEL. Memory and control instructions
+/// are executed by the engines themselves. Both the emulator and the RTL
+/// model use these semantics (the RTL model computes FP32/INT/SFU results
+/// through its staged datapaths, which are bit-identical by construction and
+/// verified so by tests).
+std::uint32_t alu_result(Opcode op, std::uint32_t a, std::uint32_t b,
+                         std::uint32_t c, bool c_pred);
+
+/// Integer comparison (signed) for ISETP.
+bool cmp_eval_i(CmpOp cmp, std::uint32_t a, std::uint32_t b);
+
+/// Floating-point comparison for FSETP. Any NaN operand compares false
+/// except for NE, which compares true (IEEE unordered semantics).
+bool cmp_eval_f(CmpOp cmp, std::uint32_t a, std::uint32_t b);
+
+}  // namespace gpufi::isa

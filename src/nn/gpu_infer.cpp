@@ -1,0 +1,307 @@
+#include "nn/gpu_infer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "isa/isa.hpp"
+#include "swfi/swfi.hpp"
+
+namespace gpufi::nn {
+
+using namespace gpufi::isa;
+
+namespace {
+
+unsigned pad8(unsigned v) { return (v + 7) & ~7u; }
+
+/// Rectangular tiled GEMM kernel: C[mp x np] = A[mp x kp] * B[kp x np].
+/// One 8x8 tile of C per CTA; K consumed in 8-wide tiles via shared memory.
+/// params: A, B, C, np, kp, kp/8.
+Program gemm_kernel() {
+  KernelBuilder kb("nn_gemm");
+  kb.shared(128);
+  kb.mov(0, S(SReg::TID_X));
+  kb.mov(1, S(SReg::TID_Y));
+  kb.mov(2, S(SReg::CTAID_X));
+  kb.mov(3, S(SReg::CTAID_Y));
+  kb.imad(4, R(3), I(8), R(1));   // row
+  kb.imad(5, R(2), I(8), R(0));   // col
+  kb.movf(6, 0.0f);               // acc
+  kb.movi(7, 0);                  // ktile
+  kb.imad(12, R(1), I(8), R(0));  // shared idx
+  kb.imul(13, R(1), I(8));        // ty*8
+  kb.loop_begin();
+  kb.isetp(0, CmpOp::LT, R(7), S(SReg::PARAM5));
+  kb.loop_while(0);
+  kb.imad(8, R(7), I(8), R(0));                    // t*8+tx
+  kb.imad(8, R(4), S(SReg::PARAM4), R(8));         // row*kp + ...
+  kb.iadd(8, R(8), S(SReg::PARAM0));
+  kb.gld(9, R(8));
+  kb.sts(R(12), R(9));                             // sA
+  kb.imad(8, R(7), I(8), R(1));                    // t*8+ty
+  kb.imad(8, R(8), S(SReg::PARAM3), R(5));         // (t*8+ty)*np + col
+  kb.iadd(8, R(8), S(SReg::PARAM1));
+  kb.gld(9, R(8));
+  kb.sts(R(12), R(9), 64);                         // sB
+  kb.bar();
+  kb.movi(10, 0);
+  kb.loop_begin();
+  kb.isetp(1, CmpOp::LT, R(10), I(8));
+  kb.loop_while(1);
+  kb.iadd(11, R(13), R(10));
+  kb.lds(14, R(11));
+  kb.imad(11, R(10), I(8), R(0));
+  kb.lds(15, R(11), 64);
+  kb.ffma(6, R(14), R(15), R(6));
+  kb.iadd(10, R(10), I(1));
+  kb.loop_end();
+  kb.bar();
+  kb.iadd(7, R(7), I(1));
+  kb.loop_end();
+  kb.imad(8, R(4), S(SReg::PARAM3), R(5));
+  kb.iadd(8, R(8), S(SReg::PARAM2));
+  kb.gst(R(8), R(6));
+  return kb.build();
+}
+
+}  // namespace
+
+GpuInference::GpuInference(const Network& net) : net_(&net) {
+  std::size_t max_a = 0, max_b = 0, max_c = 0;
+  auto add_gemm = [&](Gemm g) {
+    g.mp = pad8(g.m);
+    g.np = pad8(g.n);
+    g.kp = pad8(g.k);
+    max_a = std::max(max_a, static_cast<std::size_t>(g.mp) * g.kp);
+    max_b = std::max(max_b, static_cast<std::size_t>(g.kp) * g.np);
+    max_c = std::max(max_c, static_cast<std::size_t>(g.mp) * g.np);
+    gemms_.push_back(std::move(g));
+  };
+  for (const auto& c : net.convs) {
+    Gemm g;
+    g.m = c.gemm_m();
+    g.n = c.gemm_n();
+    g.k = c.gemm_k();
+    g.conv = &c;
+    add_gemm(std::move(g));
+  }
+  for (const auto& f : net.fcs) {
+    Gemm g;
+    g.m = f.out_n;
+    g.n = 1;
+    g.k = f.in_n;
+    g.fc = &f;
+    add_gemm(std::move(g));
+  }
+  // Pre-pad the weight matrices.
+  for (auto& g : gemms_) {
+    g.a.assign(static_cast<std::size_t>(g.mp) * g.kp, 0.0f);
+    const std::vector<float>& w = g.conv ? g.conv->weights : g.fc->weights;
+    for (unsigned r = 0; r < g.m; ++r)
+      for (unsigned c = 0; c < g.k; ++c)
+        g.a[r * g.kp + c] = w[static_cast<std::size_t>(r) * g.k + c];
+  }
+  device_words_ = max_a + max_b + max_c + 64;
+}
+
+unsigned GpuInference::gemm_layers() const {
+  return static_cast<unsigned>(gemms_.size());
+}
+
+std::pair<unsigned, unsigned> GpuInference::layer_dims(unsigned i) const {
+  return {gemms_.at(i).m, gemms_.at(i).n};
+}
+
+std::pair<unsigned, unsigned> GpuInference::layer_tiles(unsigned i) const {
+  return {gemms_.at(i).mp / 8, gemms_.at(i).np / 8};
+}
+
+std::optional<std::vector<float>> GpuInference::run(
+    emu::Device& dev, const Tensor& input, const InferOptions& opts) const {
+  if (dev.global_words() < device_words_)
+    throw std::invalid_argument("GpuInference: device too small");
+  const Program kernel = gemm_kernel();
+
+  Tensor t = input;
+  std::vector<float> vec;  // flat activations once the fc stack starts
+
+  for (std::size_t li = 0; li < gemms_.size(); ++li) {
+    const Gemm& g = gemms_[li];
+    // Build the padded B matrix (im2col for convs, column vector for fcs).
+    std::vector<float> b(static_cast<std::size_t>(g.kp) * g.np, 0.0f);
+    if (g.conv) {
+      const ConvLayer& c = *g.conv;
+      const unsigned ch = c.conv_h(), cw = c.conv_w();
+      for (unsigned ic = 0; ic < c.in_c; ++ic)
+        for (unsigned ky = 0; ky < c.k; ++ky)
+          for (unsigned kx = 0; kx < c.k; ++kx) {
+            const unsigned krow = (ic * c.k + ky) * c.k + kx;
+            for (unsigned y = 0; y < ch; ++y)
+              for (unsigned x = 0; x < cw; ++x)
+                b[static_cast<std::size_t>(krow) * g.np + y * cw + x] =
+                    t.at(ic, y + ky, x + kx);
+          }
+    } else {
+      for (unsigned i = 0; i < g.k; ++i)
+        b[static_cast<std::size_t>(i) * g.np] = vec[i];
+    }
+
+    // Device GEMM.
+    const std::uint32_t a_base = 0;
+    const auto b_base = static_cast<std::uint32_t>(g.a.size());
+    const auto c_base = static_cast<std::uint32_t>(g.a.size() + b.size());
+    dev.copy_in_f(a_base, g.a.data(), g.a.size());
+    dev.copy_in_f(b_base, b.data(), b.size());
+    Program p = kernel;
+    p.params = {a_base, b_base, c_base, g.np, g.kp, g.kp / 8, 0, 0};
+    emu::LaunchConfig cfg;
+    cfg.hook = opts.hook;
+    cfg.oob_wraps = true;
+    cfg.max_retired = opts.launch_budget;
+    const auto r =
+        dev.launch(p, emu::LaunchDims{g.np / 8, g.mp / 8, 8, 8}, cfg);
+    if (r.status != emu::LaunchStatus::Ok) return std::nullopt;
+    std::vector<float> cmat(static_cast<std::size_t>(g.mp) * g.np);
+    dev.copy_out_f(c_base, cmat.data(), cmat.size());
+
+    // t-MxM tile corruption on this layer's output matrix.
+    if (opts.tile_fault && opts.tile_fault->layer == li) {
+      const TileFault& tf = *opts.tile_fault;
+      Rng sign_rng(tf.sign_seed);
+      for (const auto& e : tf.corruption.elements) {
+        const unsigned row = tf.tile_row * 8 + e.row;
+        const unsigned col = tf.tile_col * 8 + e.col;
+        if (row >= g.mp || col >= g.np) continue;
+        float& v = cmat[static_cast<std::size_t>(row) * g.np + col];
+        const double sign = sign_rng.chance(0.5) ? 1.0 : -1.0;
+        v = static_cast<float>(v * (1.0 + sign * e.rel_error));
+      }
+    }
+
+    // Bias + activation (+ pooling) on the host.
+    if (g.conv) {
+      const ConvLayer& c = *g.conv;
+      Tensor pre(c.out_c, c.conv_h(), c.conv_w());
+      for (unsigned oc = 0; oc < c.out_c; ++oc)
+        for (unsigned i = 0; i < pre.h * pre.w; ++i) {
+          float v = cmat[static_cast<std::size_t>(oc) * g.np + i] +
+                    c.bias[oc];
+          if (c.relu && v < 0) v *= 0.1f;  // leaky rectifier (Darknet)
+          pre.data[static_cast<std::size_t>(oc) * pre.h * pre.w + i] = v;
+        }
+      if (c.pool) {
+        Tensor pooled(pre.c, pre.h / 2, pre.w / 2);
+        std::size_t o = 0;
+        for (unsigned ch2 = 0; ch2 < pre.c; ++ch2)
+          for (unsigned y = 0; y < pooled.h; ++y)
+            for (unsigned x = 0; x < pooled.w; ++x, ++o)
+              pooled.data[o] = std::max(
+                  std::max(pre.at(ch2, 2 * y, 2 * x),
+                           pre.at(ch2, 2 * y, 2 * x + 1)),
+                  std::max(pre.at(ch2, 2 * y + 1, 2 * x),
+                           pre.at(ch2, 2 * y + 1, 2 * x + 1)));
+        t = std::move(pooled);
+      } else {
+        t = std::move(pre);
+      }
+      if (li + 1 < gemms_.size() && gemms_[li + 1].fc) vec = t.data;
+    } else {
+      const FcLayer& f = *g.fc;
+      vec.assign(f.out_n, 0.0f);
+      for (unsigned o = 0; o < f.out_n; ++o) {
+        float v = cmat[static_cast<std::size_t>(o) * g.np] + f.bias[o];
+        if (f.relu && v < 0) v *= 0.1f;  // leaky rectifier
+        vec[o] = v;
+      }
+    }
+  }
+  return net_->fcs.empty() ? t.data : vec;
+}
+
+std::string_view cnn_fault_model_name(CnnFaultModel m) {
+  switch (m) {
+    case CnnFaultModel::SingleBitFlip: return "single bit-flip";
+    case CnnFaultModel::RelativeError: return "relative error";
+    case CnnFaultModel::TiledMxM: return "t-MxM tile";
+  }
+  return "?";
+}
+
+CnnCampaignResult run_cnn_campaign(const Network& net, CnnTask task,
+                                   CnnFaultModel model,
+                                   const syndrome::Database* db,
+                                   std::size_t n_injections,
+                                   std::uint64_t seed) {
+  CnnCampaignResult result;
+  GpuInference infer(net);
+
+  // Fixed deterministic input (one inference per injection, as NVBitFI
+  // evaluates one application execution per fault).
+  Rng input_rng(0xCAFE);
+  Tensor input;
+  if (task == CnnTask::Classification) {
+    input = make_digit(input_rng).image;
+  } else {
+    input = make_scene(input_rng).image;
+  }
+
+  // Golden run: profile (for injection targeting) + reference output.
+  swfi::ProfileHook profile;
+  emu::Device golden_dev(infer.device_words());
+  InferOptions gopts;
+  gopts.hook = &profile;
+  const auto golden = infer.run(golden_dev, input, gopts);
+  if (!golden) throw std::runtime_error("golden CNN inference failed");
+  const unsigned golden_class =
+      task == CnnTask::Classification ? classify(*golden) : 0;
+  const auto golden_dets = task == CnnTask::Detection
+                               ? decode_detections(*golden)
+                               : std::vector<Detection>{};
+
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n_injections; ++i) {
+    emu::Device dev(infer.device_words());
+    InferOptions opts;
+    std::optional<swfi::InjectHook> hook;
+    TileFault tf;
+    if (model == CnnFaultModel::TiledMxM) {
+      // Random layer, random tile, RTL-characterized pattern + errors.
+      tf.layer = static_cast<unsigned>(rng.below(infer.gemm_layers()));
+      const auto [tm, tn] = infer.layer_tiles(tf.layer);
+      tf.tile_row = static_cast<unsigned>(rng.below(tm));
+      tf.tile_col = static_cast<unsigned>(rng.below(tn));
+      tf.sign_seed = rng();
+      tf.corruption = db ? db->sample_tile_corruption(8, 8, rng)
+                         : syndrome::TileCorruption{};
+      opts.tile_fault = &tf;
+    } else {
+      const auto target = rng.below(profile.candidates());
+      hook.emplace(model == CnnFaultModel::SingleBitFlip
+                       ? swfi::FaultModel::SingleBitFlip
+                       : swfi::FaultModel::RelativeError,
+                   target, rng(), db, true);
+      opts.hook = &*hook;
+    }
+    const auto out = infer.run(dev, input, opts);
+    ++result.injections;
+    if (!out) {
+      ++result.due;
+      continue;
+    }
+    if (*out == *golden) {
+      ++result.masked;
+      continue;
+    }
+    ++result.sdc;
+    if (task == CnnTask::Classification) {
+      if (classify(*out) != golden_class) ++result.critical;
+    } else {
+      if (!detections_match(decode_detections(*out), golden_dets))
+        ++result.critical;
+    }
+  }
+  return result;
+}
+
+}  // namespace gpufi::nn

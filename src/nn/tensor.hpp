@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace gpufi::nn {
+
+/// Minimal dense CHW tensor of floats.
+struct Tensor {
+  unsigned c = 1, h = 1, w = 1;
+  std::vector<float> data;
+
+  Tensor() = default;
+  Tensor(unsigned c_, unsigned h_, unsigned w_)
+      : c(c_), h(h_), w(w_), data(static_cast<std::size_t>(c_) * h_ * w_) {}
+
+  std::size_t size() const { return data.size(); }
+  float& at(unsigned ci, unsigned y, unsigned x) {
+    return data[(static_cast<std::size_t>(ci) * h + y) * w + x];
+  }
+  float at(unsigned ci, unsigned y, unsigned x) const {
+    return data[(static_cast<std::size_t>(ci) * h + y) * w + x];
+  }
+  void zero() { std::fill(data.begin(), data.end(), 0.0f); }
+};
+
+}  // namespace gpufi::nn

@@ -1,0 +1,260 @@
+#include "rtl/layouts.hpp"
+
+#include <string>
+
+namespace gpufi::rtl {
+
+namespace {
+std::string idx(const char* base, unsigned i) {
+  return std::string(base) + "[" + std::to_string(i) + "]";
+}
+std::string idx2(const char* base, unsigned i, unsigned j) {
+  return std::string(base) + "[" + std::to_string(i) + "][" +
+         std::to_string(j) + "]";
+}
+constexpr auto kData = FieldRole::Data;
+constexpr auto kCtl = FieldRole::Control;
+}  // namespace
+
+SchedulerLayout::SchedulerLayout() {
+  for (unsigned w = 0; w < kMaxWarps; ++w) {
+    for (unsigned e = 0; e < kStackDepth; ++e) {
+      warp[w].stack[e].mask = layout.add(idx2("stack_mask", w, e), 32, kCtl);
+      warp[w].stack[e].pc = layout.add(idx2("stack_pc", w, e), 13, kCtl);
+      warp[w].stack[e].rpc = layout.add(idx2("stack_rpc", w, e), 13, kCtl);
+    }
+    warp[w].depth = layout.add(idx("stack_depth", w), 4, kCtl);
+    warp[w].state = layout.add(idx("warp_state", w), 2, kCtl);
+  }
+  fetch_pc = layout.add("fetch_pc", 13, kCtl);
+  cur_warp = layout.add("cur_warp", 3, kCtl);
+  beat = layout.add("beat", 2, kCtl);
+  rr_ptr = layout.add("rr_ptr", 3, kCtl);
+  barrier_mask = layout.add("barrier_mask", kMaxWarps, kCtl);
+  barrier_active = layout.add("barrier_active", 1, kCtl);
+  for (unsigned p = 0; p < 8; ++p)
+    param[p] = layout.add(idx("param", p), 32, kCtl);
+  ntid_x = layout.add("ntid_x", 16, kCtl);
+  ntid_y = layout.add("ntid_y", 16, kCtl);
+  ctaid_x = layout.add("ctaid_x", 5, kCtl);
+  ctaid_y = layout.add("ctaid_y", 4, kCtl);
+  ib_op = layout.add("ib_op", 6, kCtl);
+  ib_dst = layout.add("ib_dst", 6, kCtl);
+  ib_akind = layout.add("ib_akind", 2, kCtl);
+  ib_aval = layout.add("ib_aval", 32, kData);
+  ib_bkind = layout.add("ib_bkind", 2, kCtl);
+  ib_bval = layout.add("ib_bval", 32, kData);
+  ib_ckind = layout.add("ib_ckind", 2, kCtl);
+  ib_cval = layout.add("ib_cval", 32, kData);
+  ib_imm = layout.add("ib_imm", 32, kData);
+  ib_target = layout.add("ib_target", 13, kCtl);
+  ib_reconv = layout.add("ib_reconv", 13, kCtl);
+  ib_cmp = layout.add("ib_cmp", 3, kCtl);
+  ib_pred = layout.add("ib_pred", 3, kCtl);
+  ib_predneg = layout.add("ib_predneg", 1, kCtl);
+  issue_valid = layout.add("issue_valid", 1, kCtl);
+  exec_mask = layout.add("exec_mask", 32, kCtl);
+  spare = layout.add("seq_spare", 1, kCtl);
+}
+
+IntFuLayout::IntFuLayout() {
+  for (unsigned l = 0; l < kLanes; ++l) {
+    lane[l].a = layout.add(idx("a", l), 32, kData);
+    lane[l].b = layout.add(idx("b", l), 32, kData);
+    lane[l].c = layout.add(idx("c", l), 32, kData);
+    lane[l].prod = layout.add(idx("prod", l), 64, kData);
+    lane[l].sum = layout.add(idx("sum", l), 32, kData);
+  }
+  op = layout.add("op", 2, kCtl);
+  valid = layout.add("stage_valid", 3, kCtl);
+  busy = layout.add("busy", 1, kCtl);
+}
+
+Fp32FuLayout::Fp32FuLayout() {
+  for (unsigned l = 0; l < kLanes; ++l) {
+    Lane& n = lane[l];
+    n.l_a = layout.add(idx("l_a", l), 32, kData);
+    n.l_b = layout.add(idx("l_b", l), 32, kData);
+    n.l_c = layout.add(idx("l_c", l), 32, kData);
+    n.s1_sa = layout.add(idx("s1_sa", l), 1, kData);
+    n.s1_sb = layout.add(idx("s1_sb", l), 1, kData);
+    n.s1_sc = layout.add(idx("s1_sc", l), 1, kData);
+    n.s1_ea = layout.add(idx("s1_ea", l), 9, kData);
+    n.s1_eb = layout.add(idx("s1_eb", l), 9, kData);
+    n.s1_ec = layout.add(idx("s1_ec", l), 9, kData);
+    n.s1_ma = layout.add(idx("s1_ma", l), 24, kData);
+    n.s1_mb = layout.add(idx("s1_mb", l), 24, kData);
+    n.s1_mc = layout.add(idx("s1_mc", l), 24, kData);
+    n.s1_clsa = layout.add(idx("s1_clsa", l), 2, kData);
+    n.s1_clsb = layout.add(idx("s1_clsb", l), 2, kData);
+    n.s1_clsc = layout.add(idx("s1_clsc", l), 2, kData);
+    n.s1_op = layout.add(idx("s1_op", l), 2, kCtl);
+    n.s2_prod = layout.add(idx("s2_prod", l), 48, kData);
+    n.s2_expp = layout.add(idx("s2_expp", l), 11, kData);
+    n.s2_signp = layout.add(idx("s2_signp", l), 1, kData);
+    n.s2_clsp = layout.add(idx("s2_clsp", l), 2, kData);
+    n.s2_sc = layout.add(idx("s2_sc", l), 1, kData);
+    n.s2_ec = layout.add(idx("s2_ec", l), 9, kData);
+    n.s2_mc = layout.add(idx("s2_mc", l), 24, kData);
+    n.s2_clsc = layout.add(idx("s2_clsc", l), 2, kData);
+    n.s2_special = layout.add(idx("s2_special", l), 1, kData);
+    n.s2_sbits = layout.add(idx("s2_sbits", l), 32, kData);
+    n.s2_op = layout.add(idx("s2_op", l), 2, kCtl);
+    n.s3_sumlo = layout.add(idx("s3_sumlo", l), 64, kData);
+    n.s3_sumhi = layout.add(idx("s3_sumhi", l), 12, kData);
+    n.s3_expr = layout.add(idx("s3_expr", l), 11, kData);
+    n.s3_signr = layout.add(idx("s3_signr", l), 1, kData);
+    n.s3_sticky = layout.add(idx("s3_sticky", l), 1, kData);
+    n.s3_special = layout.add(idx("s3_special", l), 1, kData);
+    n.s3_sbits = layout.add(idx("s3_sbits", l), 32, kData);
+    n.s3_zero = layout.add(idx("s3_zero", l), 1, kData);
+    n.s3_signp = layout.add(idx("s3_signp", l), 1, kData);
+    n.s3_signc = layout.add(idx("s3_signc", l), 1, kData);
+    n.s3_cancel = layout.add(idx("s3_cancel", l), 1, kData);
+    n.s3_op = layout.add(idx("s3_op", l), 2, kCtl);
+    n.s4_res = layout.add(idx("s4_res", l), 32, kData);
+    n.s4_valid = layout.add(idx("s4_valid", l), 1, kCtl);
+  }
+  stage_valid = layout.add("stage_valid", 4, kCtl);
+  busy = layout.add("busy", 1, kCtl);
+}
+
+SfuLayout::SfuLayout() {
+  for (unsigned u = 0; u < kSfuUnits; ++u) {
+    for (unsigned s = 0; s < kSfuWidth; ++s) {
+      SubLane& n = unit[u][s];
+      const unsigned id = u * kSfuWidth + s;
+      n.in_x = layout.add(idx("in_x", id), 32, kData);
+      n.in_func = layout.add(idx("in_func", id), 1, kCtl);
+      n.in_valid = layout.add(idx("in_valid", id), 1, kCtl);
+      n.in_lane = layout.add(idx("in_lane", id), 5, kCtl);
+      n.rr_s = layout.add(idx("rr_s", id), 33, kData);
+      n.rr_c = layout.add(idx("rr_c", id), 33, kData);
+      n.s2_q = layout.add(idx("s2_q", id), 2, kData);
+      n.s2_neg = layout.add(idx("s2_neg", id), 1, kData);
+      n.s2_k = layout.add(idx("s2_k", id), 12, kData);
+      n.s2_special = layout.add(idx("s2_special", id), 1, kData);
+      n.s2_sbits = layout.add(idx("s2_sbits", id), 32, kData);
+      n.s2_func = layout.add(idx("s2_func", id), 1, kCtl);
+      n.s2_valid = layout.add(idx("s2_valid", id), 1, kCtl);
+      n.s2_lane = layout.add(idx("s2_lane", id), 5, kCtl);
+      n.s3_idx = layout.add(idx("s3_idx", id), 7, kData);
+      n.s3_dx = layout.add(idx("s3_dx", id), 26, kData);
+      n.s3_c0 = layout.add(idx("s3_c0", id), 42, kData);
+      n.s3_c1 = layout.add(idx("s3_c1", id), 36, kData);
+      n.s3_c2 = layout.add(idx("s3_c2", id), 28, kData);
+      n.s3_q = layout.add(idx("s3_q", id), 2, kData);
+      n.s3_neg = layout.add(idx("s3_neg", id), 1, kData);
+      n.s3_k = layout.add(idx("s3_k", id), 12, kData);
+      n.s3_special = layout.add(idx("s3_special", id), 1, kData);
+      n.s3_sbits = layout.add(idx("s3_sbits", id), 32, kData);
+      n.s3_func = layout.add(idx("s3_func", id), 1, kCtl);
+      n.s3_valid = layout.add(idx("s3_valid", id), 1, kCtl);
+      n.s3_lane = layout.add(idx("s3_lane", id), 5, kCtl);
+      n.s4_pp1s = layout.add(idx("s4_pp1s", id), 64, kData);
+      n.s4_pp1c = layout.add(idx("s4_pp1c", id), 64, kData);
+      n.s4_pp2s = layout.add(idx("s4_pp2s", id), 56, kData);
+      n.s4_pp2c = layout.add(idx("s4_pp2c", id), 56, kData);
+      n.s4_c1n = layout.add(idx("s4_c1n", id), 1, kData);
+      n.s4_c2n = layout.add(idx("s4_c2n", id), 1, kData);
+      n.s4_dx = layout.add(idx("s4_dx", id), 26, kData);
+      n.s4_c0 = layout.add(idx("s4_c0", id), 42, kData);
+      n.s4_q = layout.add(idx("s4_q", id), 2, kData);
+      n.s4_neg = layout.add(idx("s4_neg", id), 1, kData);
+      n.s4_k = layout.add(idx("s4_k", id), 12, kData);
+      n.s4_special = layout.add(idx("s4_special", id), 1, kData);
+      n.s4_sbits = layout.add(idx("s4_sbits", id), 32, kData);
+      n.s4_func = layout.add(idx("s4_func", id), 1, kCtl);
+      n.s4_valid = layout.add(idx("s4_valid", id), 1, kCtl);
+      n.s4_lane = layout.add(idx("s4_lane", id), 5, kCtl);
+      n.s5_acc = layout.add(idx("s5_acc", id), 44, kData);
+      n.s5_q = layout.add(idx("s5_q", id), 2, kData);
+      n.s5_neg = layout.add(idx("s5_neg", id), 1, kData);
+      n.s5_k = layout.add(idx("s5_k", id), 12, kData);
+      n.s5_special = layout.add(idx("s5_special", id), 1, kData);
+      n.s5_sbits = layout.add(idx("s5_sbits", id), 32, kData);
+      n.s5_func = layout.add(idx("s5_func", id), 1, kCtl);
+      n.s5_valid = layout.add(idx("s5_valid", id), 1, kCtl);
+      n.s5_lane = layout.add(idx("s5_lane", id), 5, kCtl);
+      n.s6_res = layout.add(idx("s6_res", id), 32, kData);
+      n.s6_valid = layout.add(idx("s6_valid", id), 1, kCtl);
+      n.s6_lane = layout.add(idx("s6_lane", id), 5, kCtl);
+    }
+  }
+}
+
+SfuCtlLayout::SfuCtlLayout() {
+  for (unsigned q = 0; q < kSfuQueue; ++q) {
+    queue[q].lane = layout.add(idx("q_lane", q), 5, kCtl);
+    queue[q].valid = layout.add(idx("q_valid", q), 1, kCtl);
+    queue[q].func = layout.add(idx("q_func", q), 1, kCtl);
+  }
+  head = layout.add("head", 4, kCtl);
+  tail = layout.add("tail", 4, kCtl);
+  count = layout.add("count", 5, kCtl);
+  for (unsigned u = 0; u < kSfuUnits; ++u)
+    grant_lane[u] = layout.add(idx("grant_lane", u), 5, kCtl);
+  grant_valid = layout.add("grant_valid", 2, kCtl);
+  collected = layout.add("collected", 32, kCtl);
+  done_count = layout.add("done_count", 6, kCtl);
+  rounds = layout.add("rounds", 2, kCtl);
+  busy = layout.add("busy", 1, kCtl);
+  for (unsigned u = 0; u < kSfuUnits; ++u)
+    inflight[u] = layout.add(idx("inflight", u), 3, kCtl);
+  state = layout.add("state", 4, kCtl);
+}
+
+PipelineLayout::PipelineLayout() {
+  for (unsigned t = 0; t < 32; ++t) oc_a[t] = layout.add(idx("oc_a", t), 32, kData);
+  for (unsigned t = 0; t < 32; ++t) oc_b[t] = layout.add(idx("oc_b", t), 32, kData);
+  for (unsigned t = 0; t < 32; ++t) oc_c[t] = layout.add(idx("oc_c", t), 32, kData);
+  for (unsigned t = 0; t < 32; ++t) rc[t] = layout.add(idx("rc", t), 32, kData);
+  rc_valid = layout.add("rc_valid", 32, kCtl);
+  for (unsigned s = 0; s < kStages; ++s) {
+    Stage& st = stage[s];
+    for (unsigned l = 0; l < kLanes; ++l) {
+      st.lane[l].a = layout.add(idx2("stg_a", s, l), 32, kData);
+      st.lane[l].b = layout.add(idx2("stg_b", s, l), 32, kData);
+      st.lane[l].c = layout.add(idx2("stg_c", s, l), 32, kData);
+      st.lane[l].res = layout.add(idx2("stg_res", s, l), 32, kData);
+    }
+    st.op = layout.add(idx("stg_op", s), 6, kCtl);
+    st.dst = layout.add(idx("stg_dst", s), 6, kCtl);
+    st.warp = layout.add(idx("stg_warp", s), 3, kCtl);
+    st.beat = layout.add(idx("stg_beat", s), 2, kCtl);
+    st.valid = layout.add(idx("stg_valid", s), 1, kCtl);
+    st.cmp = layout.add(idx("stg_cmp", s), 3, kCtl);
+    st.akind = layout.add(idx("stg_akind", s), 2, kCtl);
+    st.bkind = layout.add(idx("stg_bkind", s), 2, kCtl);
+    st.ckind = layout.add(idx("stg_ckind", s), 2, kCtl);
+    st.imm = layout.add(idx("stg_imm", s), 32, kCtl);
+    st.wen = layout.add(idx("stg_wen", s), kLanes, kCtl);
+    st.emask = layout.add(idx("stg_emask", s), 32, kCtl);
+  }
+  exec_mask = layout.add("exec_mask", 32, kCtl);
+  wb_mask = layout.add("wb_mask", 32, kCtl);
+  for (unsigned w = 0; w < kMaxWarps; ++w)
+    scoreboard[w] = layout.add(idx("scoreboard", w), 32, kCtl);
+  mem_valid = layout.add("mem_valid", 32, kCtl);
+  pred_stage = layout.add("pred_stage", 32, kCtl);
+  selp_stage = layout.add("selp_stage", 32, kCtl);
+}
+
+const StateLayout& Layouts::of(Module m) const {
+  switch (m) {
+    case Module::Fp32Fu: return fp32_fu.layout;
+    case Module::IntFu: return int_fu.layout;
+    case Module::Sfu: return sfu.layout;
+    case Module::SfuCtl: return sfu_ctl.layout;
+    case Module::Scheduler: return scheduler.layout;
+    case Module::PipelineRegs: return pipeline.layout;
+  }
+  return pipeline.layout;
+}
+
+const Layouts& layouts() {
+  static const Layouts instance;
+  return instance;
+}
+
+}  // namespace gpufi::rtl

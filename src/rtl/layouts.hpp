@@ -1,0 +1,215 @@
+#pragma once
+
+#include <array>
+
+#include "rtl/state.hpp"
+
+namespace gpufi::rtl {
+
+/// Geometry of the modelled SM (a G80-style streaming multiprocessor).
+constexpr unsigned kLanes = 8;        ///< scalar processors (SPs) per SM
+constexpr unsigned kMaxWarps = 6;     ///< warp slots in the scheduler
+constexpr unsigned kStackDepth = 8;   ///< SIMT reconvergence stack entries
+constexpr unsigned kSfuUnits = 2;     ///< special function units per SM
+constexpr unsigned kSfuWidth = 2;     ///< sublanes per SFU (2-wide pipelines)
+constexpr unsigned kSfuQueue = 16;    ///< SFU controller queue entries
+constexpr unsigned kBeats = 4;        ///< a 32-thread warp issues in 4 beats
+constexpr unsigned kStages = 5;       ///< pipeline stages OF,EX1..EX3,WB
+
+/// Warp scheduler state machine values (stored in 2 flip-flops per warp).
+enum class WarpState : std::uint8_t { Ready = 0, AtBarrier = 1, Done = 2 };
+
+// ---------------------------------------------------------------------------
+// Field-handle structs: one per module, built against its StateLayout. The
+// handles give sm.cpp readable named access while every bit stays visible to
+// the fault injector.
+// ---------------------------------------------------------------------------
+
+/// Scheduler controller: per-warp SIMT stacks plus the fetch/issue front end
+/// (fetched-instruction buffer, guard-mask latch, barrier bookkeeping).
+struct SchedulerLayout {
+  struct WarpSlot {
+    struct Entry {
+      FieldRef mask, pc, rpc;
+    };
+    std::array<Entry, kStackDepth> stack;
+    FieldRef depth;   ///< live stack entries (0 = warp never started)
+    FieldRef state;   ///< WarpState encoding
+  };
+  std::array<WarpSlot, kMaxWarps> warp;
+
+  FieldRef fetch_pc;        ///< PC of the instruction being executed
+  FieldRef cur_warp;        ///< warp selected by the issue FSM
+  FieldRef beat;            ///< beat counter of the in-flight warp
+  FieldRef rr_ptr;          ///< round-robin scheduling pointer
+  FieldRef barrier_mask;    ///< warps arrived at the barrier
+  FieldRef barrier_active;
+
+  /// Kernel parameter bank (buffer base addresses etc.): the "memory
+  /// addresses stored in the controller" whose corruption the paper flags
+  /// as a scheduler DUE/multi-thread source.
+  std::array<FieldRef, 8> param;
+  FieldRef ntid_x, ntid_y;      ///< CTA dimension latches
+  FieldRef ctaid_x, ctaid_y;    ///< current CTA index latches
+
+  // Fetched-and-decoded instruction buffer.
+  FieldRef ib_op, ib_dst;
+  FieldRef ib_akind, ib_aval, ib_bkind, ib_bval, ib_ckind, ib_cval;
+  FieldRef ib_imm, ib_target, ib_reconv, ib_cmp, ib_pred, ib_predneg;
+  FieldRef issue_valid;
+  FieldRef exec_mask;       ///< guard-evaluated execution mask
+  FieldRef spare;
+
+  StateLayout layout;
+  SchedulerLayout();
+};
+
+/// Integer functional unit: 8 unified MAD lanes (d = lo32(a*b) + c).
+struct IntFuLayout {
+  struct Lane {
+    FieldRef a, b, c;  ///< operand latches
+    FieldRef prod;     ///< 64-bit product register
+    FieldRef sum;      ///< adder output register
+  };
+  std::array<Lane, kLanes> lane;
+  FieldRef op;        ///< operation latch (broadcast)
+  FieldRef valid;     ///< stage valid bits
+  FieldRef busy;
+
+  StateLayout layout;
+  IntFuLayout();
+};
+
+/// FP32 functional unit: 8 unified FMA lanes with four live stage-register
+/// banks mirroring fparith's FmaS1..S4 records.
+struct Fp32FuLayout {
+  struct Lane {
+    FieldRef l_a, l_b, l_c;  ///< raw operand latches
+    // S1: unpacked operands.
+    FieldRef s1_sa, s1_sb, s1_sc;
+    FieldRef s1_ea, s1_eb, s1_ec;     ///< signed exponents (9 bits)
+    FieldRef s1_ma, s1_mb, s1_mc;     ///< 24-bit mantissas
+    FieldRef s1_clsa, s1_clsb, s1_clsc;
+    FieldRef s1_op;
+    // S2: product + pass-through addend.
+    FieldRef s2_prod, s2_expp, s2_signp, s2_clsp;
+    FieldRef s2_sc, s2_ec, s2_mc, s2_clsc;
+    FieldRef s2_special, s2_sbits, s2_op;
+    // S3: wide aligned sum.
+    FieldRef s3_sumlo, s3_sumhi, s3_expr, s3_signr, s3_sticky;
+    FieldRef s3_special, s3_sbits, s3_zero, s3_signp, s3_signc, s3_cancel,
+        s3_op;
+    // S4: rounded result.
+    FieldRef s4_res, s4_valid;
+  };
+  std::array<Lane, kLanes> lane;
+  FieldRef stage_valid;
+  FieldRef busy;
+
+  StateLayout layout;
+  Fp32FuLayout();
+};
+
+/// Special function unit pair. Each SFU is a 2-wide (two sublanes), 6-deep
+/// pipeline: IN (operand latch) -> S2 (range-reduced argument held as a
+/// redundant carry-save pair) -> S3 (table lookup) -> S4 (carry-save
+/// interpolation products) -> S5 (accumulate) -> S6 (packed result).
+struct SfuLayout {
+  struct SubLane {
+    FieldRef in_x, in_func, in_valid, in_lane;
+    FieldRef rr_s, rr_c;  ///< carry-save split of the reduced argument
+    FieldRef s2_q, s2_neg, s2_k, s2_special, s2_sbits, s2_func, s2_valid,
+        s2_lane;
+    FieldRef s3_idx, s3_dx, s3_c0, s3_c1, s3_c2;
+    FieldRef s3_q, s3_neg, s3_k, s3_special, s3_sbits, s3_func, s3_valid,
+        s3_lane;
+    FieldRef s4_pp1s, s4_pp1c, s4_pp2s, s4_pp2c, s4_c1n, s4_c2n, s4_dx,
+        s4_c0;
+    FieldRef s4_q, s4_neg, s4_k, s4_special, s4_sbits, s4_func, s4_valid,
+        s4_lane;
+    FieldRef s5_acc;
+    FieldRef s5_q, s5_neg, s5_k, s5_special, s5_sbits, s5_func, s5_valid,
+        s5_lane;
+    FieldRef s6_res, s6_valid, s6_lane;
+  };
+  std::array<std::array<SubLane, kSfuWidth>, kSfuUnits> unit;
+
+  StateLayout layout;
+  SfuLayout();
+};
+
+/// SFU controller: request queue plus grant/collection bookkeeping that
+/// shares the two SFUs among the warp's 32 threads. Faults here are the
+/// paper's source of multi-thread corruption for FSIN/FEXP.
+struct SfuCtlLayout {
+  struct Slot {
+    FieldRef lane, valid, func;
+  };
+  std::array<Slot, kSfuQueue> queue;
+  FieldRef head, tail, count;
+  std::array<FieldRef, kSfuUnits> grant_lane;
+  FieldRef grant_valid;
+  FieldRef collected;     ///< result-arrival mask (32)
+  FieldRef done_count;    ///< results retired (completion is count-based)
+  FieldRef rounds;        ///< dispatch round counter
+  FieldRef busy;
+  std::array<FieldRef, kSfuUnits> inflight;
+  FieldRef state;
+
+  StateLayout layout;
+  SfuCtlLayout();
+};
+
+/// Pipeline registers: warp-wide operand/result collectors plus per-stage
+/// lane latches and the per-stage decoded-control words. Data fields hold
+/// operands for each parallel core; control fields steer them (the paper's
+/// ~84%/~16% split).
+struct PipelineLayout {
+  // Warp-wide collectors, one slot per thread.
+  std::array<FieldRef, 32> oc_a, oc_b, oc_c;   ///< operand collector
+  std::array<FieldRef, 32> rc;                 ///< result collector
+  FieldRef rc_valid;                           ///< per-thread result arrived
+
+  // Per-stage lane latches (stage 0 = OF .. stage 4 = WB).
+  struct Stage {
+    struct Lane {
+      FieldRef a, b, c, res;
+    };
+    std::array<Lane, kLanes> lane;
+    // Decoded control word travelling with the stage.
+    FieldRef op, dst, warp, beat, valid, cmp;
+    FieldRef akind, bkind, ckind;
+    FieldRef imm;
+    FieldRef wen;    ///< lane write enables
+    FieldRef emask;  ///< full warp execution mask copy
+  };
+  std::array<Stage, kStages> stage;
+
+  // Warp-wide control.
+  FieldRef exec_mask;   ///< execution mask of the in-flight instruction
+  FieldRef wb_mask;     ///< threads whose results will be written back
+  std::array<FieldRef, kMaxWarps> scoreboard;  ///< per-warp dest-reg busy bits
+  FieldRef mem_valid;   ///< per-thread pending memory request
+  FieldRef pred_stage;  ///< ISETP/FSETP predicate results staging (32)
+  FieldRef selp_stage;  ///< SEL predicate operand staging (32)
+
+  StateLayout layout;
+  PipelineLayout();
+};
+
+/// All six module layouts, built once.
+struct Layouts {
+  SchedulerLayout scheduler;
+  IntFuLayout int_fu;
+  Fp32FuLayout fp32_fu;
+  SfuLayout sfu;
+  SfuCtlLayout sfu_ctl;
+  PipelineLayout pipeline;
+
+  const StateLayout& of(Module m) const;
+};
+
+/// Singleton accessor (layouts are immutable after construction).
+const Layouts& layouts();
+
+}  // namespace gpufi::rtl

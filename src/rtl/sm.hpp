@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "rtl/layouts.hpp"
+#include "rtl/state.hpp"
+
+namespace gpufi::rtl {
+
+/// Launch geometry for the RTL model (one CTA executes at a time on the
+/// single modelled SM; CTAs of a grid run back to back).
+struct GridDims {
+  unsigned grid_x = 1, grid_y = 1;
+  unsigned block_x = 1, block_y = 1;
+
+  unsigned threads_per_cta() const { return block_x * block_y; }
+  unsigned ctas() const { return grid_x * grid_y; }
+};
+
+/// A single transient fault: flip `bit` of `module` when the global cycle
+/// counter reaches `cycle`. The flipped value persists until normal pipeline
+/// operation overwrites the flip-flop (transient fault semantics).
+struct FaultSpec {
+  Module module = Module::PipelineRegs;
+  std::uint32_t bit = 0;
+  std::uint64_t cycle = 0;
+};
+
+/// Terminal status of an RTL run.
+enum class RunStatus {
+  Ok,        ///< orderly completion
+  Trap,      ///< detected illegal state (invalid PC/opcode, OOB access, ...)
+  Watchdog,  ///< cycle limit expired (hang / deadlock / livelock)
+};
+
+/// Outcome of one RTL execution.
+struct RunResult {
+  RunStatus status = RunStatus::Ok;
+  std::string trap_reason;
+  std::uint64_t cycles = 0;
+};
+
+/// Cycle-level model of one G80-style streaming multiprocessor with
+/// explicit, faultable flip-flop state for the six modules of Table I.
+///
+/// The execution style follows FlexGripPlus: blocking in-order issue, one
+/// warp instruction in flight, a 32-thread warp processed as four beats of
+/// eight lanes, two shared SFUs behind an arbitration controller. All
+/// architectural memories (register file, predicate file, shared and global
+/// memory, program ROM) are modelled as plain storage and are NOT fault
+/// targets, mirroring the paper's ECC assumption.
+class Sm {
+ public:
+  explicit Sm(std::size_t global_words = 1 << 20);
+
+  // ---- host-side memory interface (word addressed) --------------------
+  std::uint32_t alloc(std::size_t words);
+  void reset_allocator() { alloc_watermark_ = 0; }
+  std::uint32_t read_word(std::uint32_t addr) const;
+  void write_word(std::uint32_t addr, std::uint32_t value);
+  float read_float(std::uint32_t addr) const;
+  void write_float(std::uint32_t addr, float value);
+  void fill(std::uint32_t addr, std::size_t words, std::uint32_t value);
+  std::size_t global_words() const { return global_.size(); }
+  /// Snapshot of the whole global memory (for golden/faulty comparison).
+  const std::vector<std::uint32_t>& global() const { return global_; }
+  /// Restores a snapshot (e.g. re-arming inputs between injections).
+  void set_global(std::vector<std::uint32_t> mem) { global_ = std::move(mem); }
+
+  /// Runs a kernel with no fault. `max_cycles` = 0 means unlimited-ish
+  /// (2^62). Returns cycle count for fault-window sizing.
+  RunResult run(const isa::Program& prog, const GridDims& dims,
+                std::uint64_t max_cycles = 0);
+
+  /// Runs a kernel with one transient fault injected.
+  RunResult run_with_fault(const isa::Program& prog, const GridDims& dims,
+                           const FaultSpec& fault, std::uint64_t max_cycles);
+
+  /// Read access to a module's flip-flop bank (tests/reports).
+  const ModuleState& module_state(Module m) const;
+
+ private:
+  RunResult execute(const isa::Program& prog, const GridDims& dims,
+                    const std::optional<FaultSpec>& fault,
+                    std::uint64_t max_cycles);
+
+  std::vector<std::uint32_t> global_;
+  std::size_t alloc_watermark_ = 0;
+
+  ModuleState sched_;
+  ModuleState intfu_;
+  ModuleState fpfu_;
+  ModuleState sfu_;
+  ModuleState sfuctl_;
+  ModuleState pipe_;
+};
+
+}  // namespace gpufi::rtl

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace gpufi::rtl {
+
+/// The six fault-injection targets of Table I. Memories (register file,
+/// shared memory, caches) are deliberately absent: the paper assumes they
+/// are ECC protected and does not inject into them.
+enum class Module : std::uint8_t {
+  Fp32Fu,       ///< 8-lane unified FP32 FMA datapath
+  IntFu,        ///< 8-lane integer MAD datapath
+  Sfu,          ///< 2 special function units (sin/exp pipelines)
+  SfuCtl,       ///< SFU request queue / arbitration controller
+  Scheduler,    ///< warp scheduler controller (warp table + issue FSM)
+  PipelineRegs, ///< operand/result collectors and per-stage latches
+};
+
+/// Number of faultable modules.
+constexpr std::size_t kNumModules = 6;
+
+/// Human-readable module name ("FP32", "Scheduler", ...).
+std::string_view module_name(Module m);
+
+/// Whether a flip-flop field carries datapath values or control signals.
+/// The paper's key structural observation (~84% of pipeline registers are
+/// data, ~16% control, and the control ones cause the DUEs/multi-thread
+/// SDCs) is reproduced by tagging every field.
+enum class FieldRole : std::uint8_t { Data, Control };
+
+/// Handle to a packed field inside a module's flip-flop bank.
+struct FieldRef {
+  std::uint32_t offset = 0;
+  std::uint16_t width = 0;
+};
+
+/// Metadata of one registered field.
+struct FieldInfo {
+  std::string name;
+  std::uint32_t offset = 0;
+  std::uint16_t width = 0;
+  FieldRole role = FieldRole::Data;
+};
+
+/// Builder/registry for a module's flip-flop bank: fields are appended in
+/// declaration order and packed contiguously. The layout doubles as the
+/// lookup table that maps an injected bit index back to a named field for
+/// the detailed fault reports.
+class StateLayout {
+ public:
+  /// Registers a field of `width` bits; returns its handle.
+  FieldRef add(std::string name, unsigned width,
+               FieldRole role = FieldRole::Data);
+
+  /// Total flip-flop count (Table I column "RTL Size").
+  std::size_t bits() const { return bits_; }
+  /// Flip-flops tagged as data.
+  std::size_t data_bits() const { return data_bits_; }
+  /// Flip-flops tagged as control.
+  std::size_t control_bits() const { return bits_ - data_bits_; }
+
+  /// Field containing the given bit (for reports). Throws if out of range.
+  const FieldInfo& field_at(std::size_t bit) const;
+
+  const std::vector<FieldInfo>& fields() const { return fields_; }
+
+ private:
+  std::vector<FieldInfo> fields_;
+  std::size_t bits_ = 0;
+  std::size_t data_bits_ = 0;
+};
+
+/// A module's live flip-flop bank: a BitVector addressed through FieldRefs.
+/// Fault injection flips raw bits; normal operation reads/writes fields.
+class ModuleState {
+ public:
+  explicit ModuleState(const StateLayout& layout)
+      : layout_(&layout), bits_(layout.bits()) {}
+
+  std::uint64_t get(FieldRef f) const {
+    return bits_.get_field(f.offset, f.width);
+  }
+  void set(FieldRef f, std::uint64_t v) {
+    bits_.set_field(f.offset, f.width, v);
+  }
+  bool get_flag(FieldRef f) const { return get(f) != 0; }
+
+  /// Sign-extends a field read as a two's-complement value.
+  std::int64_t get_signed(FieldRef f) const {
+    const std::uint64_t v = get(f);
+    if (f.width == 64) return static_cast<std::int64_t>(v);
+    const std::uint64_t sign = std::uint64_t{1} << (f.width - 1);
+    return static_cast<std::int64_t>((v ^ sign)) -
+           static_cast<std::int64_t>(sign);
+  }
+
+  /// The fault-injection primitive.
+  void flip(std::size_t bit) { bits_.flip(bit); }
+  /// Clears every flip-flop (power-on reset).
+  void reset() { bits_.clear(); }
+
+  std::size_t size() const { return bits_.size(); }
+  const StateLayout& layout() const { return *layout_; }
+
+ private:
+  const StateLayout* layout_;
+  BitVector bits_;
+};
+
+}  // namespace gpufi::rtl

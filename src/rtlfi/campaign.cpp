@@ -1,0 +1,174 @@
+#include "rtlfi/campaign.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/statistics.hpp"
+#include "rtl/layouts.hpp"
+
+namespace gpufi::rtlfi {
+
+std::string_view outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Masked: return "Masked";
+    case Outcome::Sdc: return "SDC";
+    case Outcome::Due: return "DUE";
+  }
+  return "?";
+}
+
+double CampaignResult::mean_corrupted_elements() const {
+  std::size_t n = 0, sum = 0;
+  for (const auto& r : records) {
+    if (r.outcome != Outcome::Sdc) continue;
+    ++n;
+    sum += r.corrupted_elements;
+  }
+  return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
+}
+
+double CampaignResult::mean_corrupted_threads() const {
+  std::size_t n = 0, sum = 0;
+  for (const auto& r : records) {
+    if (r.outcome != Outcome::Sdc) continue;
+    ++n;
+    sum += r.corrupted_threads;
+  }
+  return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
+}
+
+double CampaignResult::margin_of_error() const {
+  return stats::proportion_margin_of_error(avf(), injected);
+}
+
+void CampaignResult::merge(const CampaignResult& other) {
+  injected += other.injected;
+  masked += other.masked;
+  sdc_single += other.sdc_single;
+  sdc_multi += other.sdc_multi;
+  due += other.due;
+  golden_cycles = std::max(golden_cycles, other.golden_cycles);
+  records.insert(records.end(), other.records.begin(), other.records.end());
+}
+
+Outcome classify(rtl::RunStatus status,
+                 const std::vector<std::uint32_t>& golden_out,
+                 const std::vector<std::uint32_t>& faulty_out) {
+  if (status != rtl::RunStatus::Ok) return Outcome::Due;
+  return golden_out == faulty_out ? Outcome::Masked : Outcome::Sdc;
+}
+
+namespace {
+
+double relative_error(std::uint32_t golden, std::uint32_t faulty,
+                      bool is_float) {
+  if (is_float) {
+    const double g = std::bit_cast<float>(golden);
+    const double f = std::bit_cast<float>(faulty);
+    if (!std::isfinite(f) || !std::isfinite(g)) return 1e30;
+    if (g == 0.0) return std::fabs(f) == 0.0 ? 0.0 : 1e30;
+    return std::fabs((f - g) / g);
+  }
+  const double g = static_cast<std::int32_t>(golden);
+  const double f = static_cast<std::int32_t>(faulty);
+  if (g == 0.0) return f == 0.0 ? 0.0 : 1e30;
+  return std::fabs((f - g) / g);
+}
+
+std::vector<std::uint32_t> read_out(const rtl::Sm& sm, std::uint32_t base,
+                                    std::uint32_t words) {
+  std::vector<std::uint32_t> v(words);
+  for (std::uint32_t i = 0; i < words; ++i) v[i] = sm.read_word(base + i);
+  return v;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const Workload& w, const CampaignConfig& cfg) {
+  CampaignResult result;
+  const auto& layout = rtl::layouts().of(cfg.module);
+  if (layout.bits() == 0) throw std::logic_error("empty module layout");
+
+  // Golden run: reference output and fault-window size.
+  rtl::Sm sm;
+  w.setup(sm);
+  const auto golden_run = sm.run(w.program, w.dims);
+  if (golden_run.status != rtl::RunStatus::Ok)
+    throw std::runtime_error("golden RTL run failed (" +
+                             golden_run.trap_reason + ") for " + w.name);
+  result.golden_cycles = golden_run.cycles;
+  const auto golden_out = read_out(sm, w.out_base, w.out_words);
+  const std::uint64_t watchdog =
+      golden_run.cycles * cfg.watchdog_factor + cfg.watchdog_slack;
+
+  Rng rng(cfg.seed);
+  for (std::size_t i = 0; i < cfg.n_faults; ++i) {
+    rtl::FaultSpec fault;
+    fault.module = cfg.module;
+    fault.bit = static_cast<std::uint32_t>(rng.below(layout.bits()));
+    fault.cycle = rng.below(golden_run.cycles);
+
+    w.setup(sm);
+    const auto run = sm.run_with_fault(w.program, w.dims, fault, watchdog);
+    const auto faulty_out = read_out(sm, w.out_base, w.out_words);
+    const Outcome outcome = classify(run.status, golden_out, faulty_out);
+
+    ++result.injected;
+    switch (outcome) {
+      case Outcome::Masked:
+        ++result.masked;
+        break;
+      case Outcome::Due:
+        ++result.due;
+        break;
+      case Outcome::Sdc:
+        break;  // counted below once multiplicity is known
+    }
+
+    if (outcome == Outcome::Masked) continue;
+
+    InjectionRecord rec;
+    rec.fault = fault;
+    const auto& finfo = layout.field_at(fault.bit);
+    rec.field = finfo.name;
+    rec.role = finfo.role;
+    rec.outcome = outcome;
+    if (outcome == Outcome::Due) {
+      rec.due_reason = run.trap_reason;
+      if (cfg.keep_all_records) result.records.push_back(std::move(rec));
+      continue;
+    }
+    std::vector<bool> thread_hit(w.thread_modulo ? w.thread_modulo
+                                                 : w.out_words);
+    for (std::uint32_t e = 0; e < w.out_words; ++e) {
+      if (faulty_out[e] == golden_out[e]) continue;
+      ++rec.corrupted_elements;
+      const std::uint32_t owner =
+          w.thread_modulo ? e % w.thread_modulo : e;
+      if (!thread_hit[owner]) {
+        thread_hit[owner] = true;
+        ++rec.corrupted_threads;
+      }
+      if (rec.diffs.size() < kMaxDiffsKept) {
+        ElementDiff d;
+        d.index = e;
+        d.golden = golden_out[e];
+        d.faulty = faulty_out[e];
+        d.rel_error = relative_error(golden_out[e], faulty_out[e],
+                                     w.out_is_float);
+        d.bits_flipped = static_cast<unsigned>(
+            std::popcount(golden_out[e] ^ faulty_out[e]));
+        rec.diffs.push_back(d);
+      }
+    }
+    if (rec.corrupted_threads > 1)
+      ++result.sdc_multi;
+    else
+      ++result.sdc_single;
+    result.records.push_back(std::move(rec));
+  }
+  return result;
+}
+
+}  // namespace gpufi::rtlfi

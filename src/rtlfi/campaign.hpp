@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "isa/isa.hpp"
+#include "rtl/sm.hpp"
+
+namespace gpufi::rtlfi {
+
+/// Fault-effect classification (Avizienis taxonomy as used by the paper).
+enum class Outcome : std::uint8_t {
+  Masked,  ///< no effect on the observable output
+  Sdc,     ///< silent data corruption: output mismatch, clean termination
+  Due,     ///< detected unrecoverable error: trap or hang
+};
+
+/// Human-readable outcome name.
+std::string_view outcome_name(Outcome o);
+
+/// One corrupted output element of an SDC (part of the detailed report).
+struct ElementDiff {
+  std::uint32_t index = 0;      ///< word index within the output region
+  std::uint32_t golden = 0;     ///< expected bits
+  std::uint32_t faulty = 0;     ///< observed bits
+  double rel_error = 0.0;       ///< |faulty-golden| / |golden| (value domain)
+  unsigned bits_flipped = 0;    ///< popcount(golden ^ faulty)
+};
+
+/// Detailed report entry: everything the paper records per observed SDC
+/// (fault location, golden/faulty values, #bits, #threads, spatial info).
+struct InjectionRecord {
+  rtl::FaultSpec fault;
+  std::string field;            ///< name of the flip-flop field hit
+  rtl::FieldRole role = rtl::FieldRole::Data;
+  Outcome outcome = Outcome::Masked;
+  std::string due_reason;       ///< trap reason / "watchdog expired"
+  unsigned corrupted_elements = 0;
+  unsigned corrupted_threads = 0;  ///< distinct threads with a wrong output
+  std::vector<ElementDiff> diffs;  ///< capped at kMaxDiffsKept entries
+};
+
+/// Limit on per-record element diffs (multi-element SDCs can corrupt the
+/// whole output; the spatial classifier only needs the indices kept here).
+constexpr std::size_t kMaxDiffsKept = 256;
+
+/// A workload to characterize under fault injection.
+struct Workload {
+  isa::Program program;
+  rtl::GridDims dims;
+  /// Writes the inputs into device memory before every run.
+  std::function<void(rtl::Sm&)> setup;
+  /// Output region used for SDC classification.
+  std::uint32_t out_base = 0;
+  std::uint32_t out_words = 0;
+  bool out_is_float = true;
+  /// Spatial geometry of the output (t-MxM pattern analysis); 0 = linear.
+  unsigned out_rows = 0, out_cols = 0;
+  /// Output element index -> owning thread is (index % thread_modulo);
+  /// 0 treats every element as a distinct thread.
+  unsigned thread_modulo = 0;
+  std::string name = "workload";
+};
+
+/// Campaign parameters: which module to bombard and with how many faults.
+struct CampaignConfig {
+  rtl::Module module = rtl::Module::Fp32Fu;
+  std::size_t n_faults = 2000;
+  std::uint64_t seed = 1;
+  /// Watchdog = golden_cycles * factor + slack (hang detection).
+  std::uint64_t watchdog_factor = 4;
+  std::uint64_t watchdog_slack = 4096;
+  /// Keep detailed records for DUEs and multi-thread SDCs too.
+  bool keep_all_records = false;
+};
+
+/// General report of one campaign (the per-module/per-instruction AVF data
+/// behind Fig. 4 and Fig. 7).
+struct CampaignResult {
+  std::size_t injected = 0;
+  std::size_t masked = 0;
+  std::size_t sdc_single = 0;  ///< SDCs corrupting exactly one thread
+  std::size_t sdc_multi = 0;   ///< SDCs corrupting more than one thread
+  std::size_t due = 0;
+  std::uint64_t golden_cycles = 0;
+
+  /// Detailed records (always kept for SDCs).
+  std::vector<InjectionRecord> records;
+
+  double avf_sdc() const {
+    return injected == 0
+               ? 0.0
+               : static_cast<double>(sdc_single + sdc_multi) / injected;
+  }
+  double avf_due() const {
+    return injected == 0 ? 0.0 : static_cast<double>(due) / injected;
+  }
+  double avf() const { return avf_sdc() + avf_due(); }
+  /// Fraction of SDCs affecting more than one output element.
+  double multi_fraction() const {
+    const auto s = sdc_single + sdc_multi;
+    return s == 0 ? 0.0 : static_cast<double>(sdc_multi) / s;
+  }
+  /// Mean corrupted elements per SDC.
+  double mean_corrupted_elements() const;
+  /// Mean distinct corrupted threads per SDC (the paper reports 1 for
+  /// INT/FP32 FUs, ~8 for SFUs, ~28 for the scheduler, ~18 for pipeline).
+  double mean_corrupted_threads() const;
+  /// 95% margin of error on the total AVF estimate.
+  double margin_of_error() const;
+
+  /// Merges another campaign's counters and records (e.g. averaging the
+  /// paper's four values per input range).
+  void merge(const CampaignResult& other);
+};
+
+/// Runs one fault-injection campaign: a golden run sizes the fault window
+/// and provides the reference output, then `n_faults` uniformly random
+/// (flip-flop bit, cycle) transients are injected one per run.
+CampaignResult run_campaign(const Workload& w, const CampaignConfig& cfg);
+
+/// Classifies a single faulty run against golden output (exposed for tests).
+Outcome classify(rtl::RunStatus status,
+                 const std::vector<std::uint32_t>& golden_out,
+                 const std::vector<std::uint32_t>& faulty_out);
+
+}  // namespace gpufi::rtlfi

@@ -1,0 +1,279 @@
+#include "rtlfi/microbench.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace gpufi::rtlfi {
+
+using namespace gpufi::isa;
+
+std::string_view range_name(InputRange r) {
+  switch (r) {
+    case InputRange::Small: return "S";
+    case InputRange::Medium: return "M";
+    case InputRange::Large: return "L";
+  }
+  return "?";
+}
+
+std::string_view tile_name(TileKind k) {
+  switch (k) {
+    case TileKind::Max: return "Max";
+    case TileKind::Zero: return "Zero";
+    case TileKind::Random: return "Random";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kFpS_lo = 6.8e-6, kFpS_hi = 7.3e-6;
+constexpr double kFpM_lo = 1.8, kFpM_hi = 59.4;
+constexpr double kFpL_lo = 3.8e9, kFpL_hi = 12.5e9;
+
+float draw_fp(Rng& rng, InputRange r) {
+  switch (r) {
+    case InputRange::Small:
+      return static_cast<float>(rng.uniform(kFpS_lo, kFpS_hi));
+    case InputRange::Medium:
+      return static_cast<float>(rng.uniform(kFpM_lo, kFpM_hi));
+    case InputRange::Large:
+      return static_cast<float>(rng.uniform(kFpL_lo, kFpL_hi));
+  }
+  return 0.0f;
+}
+
+std::uint32_t draw_int(Rng& rng, InputRange r) {
+  switch (r) {
+    case InputRange::Small:
+      return static_cast<std::uint32_t>(rng.range(2, 7));
+    case InputRange::Medium:
+      return static_cast<std::uint32_t>(rng.range(2, 59));
+    case InputRange::Large:
+      return static_cast<std::uint32_t>(
+          rng.range(1'200'000'000, 2'100'000'000));
+  }
+  return 0;
+}
+
+float draw_sfu(Rng& rng) {
+  return static_cast<float>(rng.uniform(0.0, 1.5707963267948966));
+}
+
+constexpr unsigned kThreads = 64;  // 2 warps, as in the paper
+// Memory map (word addresses).
+constexpr std::uint32_t kInA = 0;
+constexpr std::uint32_t kInB = kInA + kThreads;
+constexpr std::uint32_t kInC = kInB + kThreads;
+constexpr std::uint32_t kOut = kInC + kThreads;
+
+}  // namespace
+
+InputRange classify_float_input(float magnitude) {
+  const double m = std::fabs(static_cast<double>(magnitude));
+  if (m <= kFpS_hi) return InputRange::Small;
+  if (m >= kFpL_lo) return InputRange::Large;
+  return InputRange::Medium;
+}
+
+InputRange classify_int_input(std::uint32_t magnitude) {
+  if (magnitude <= 7) return InputRange::Small;
+  if (magnitude >= 1'200'000'000u) return InputRange::Large;
+  return InputRange::Medium;
+}
+
+Workload make_microbenchmark(Opcode op, InputRange range,
+                             std::uint64_t value_seed) {
+  Workload w;
+  w.name = std::string(mnemonic(op)) + "/" + std::string(range_name(range));
+  w.dims = rtl::GridDims{1, 1, kThreads, 1};
+  w.out_base = kOut;
+  w.out_is_float = op_class(op) == OpClass::Fp32 ||
+                   op_class(op) == OpClass::Special;
+
+  const OpClass cls = op_class(op);
+  const bool is_arith = cls == OpClass::Fp32 || cls == OpClass::Int32;
+  const bool is_sfu = cls == OpClass::Special;
+  const bool memory_values_float = is_arith ? w.out_is_float : true;
+
+  // Buffer base addresses are kernel parameters: on the RTL model they
+  // live in the scheduler's (faultable) parameter bank.
+  KernelBuilder kb(w.name);
+  kb.mov(0, S(SReg::TID_X));
+  kb.iadd(5, R(0), S(SReg::PARAM0));
+  kb.gld(1, R(5));
+  kb.iadd(5, R(0), S(SReg::PARAM1));
+  kb.gld(2, R(5));
+  kb.iadd(5, R(0), S(SReg::PARAM2));
+  kb.gld(3, R(5));
+  kb.iadd(6, R(0), S(SReg::PARAM3));
+
+  switch (op) {
+    case Opcode::FADD:
+    case Opcode::FMUL:
+    case Opcode::IADD:
+    case Opcode::IMUL:
+      for (unsigned k = 0; k < kMicrobenchReps; ++k) {
+        kb.emit(Instr{.op = op, .dst = 4, .a = R(1), .b = R(2)});
+        kb.gst(R(6), R(4), static_cast<std::int32_t>(k * kThreads));
+      }
+      break;
+    case Opcode::FFMA:
+    case Opcode::IMAD:
+      for (unsigned k = 0; k < kMicrobenchReps; ++k) {
+        kb.emit(Instr{.op = op, .dst = 4, .a = R(1), .b = R(2), .c = R(3)});
+        kb.gst(R(6), R(4), static_cast<std::int32_t>(k * kThreads));
+      }
+      break;
+    case Opcode::FSIN:
+    case Opcode::FEXP:
+      for (unsigned k = 0; k < kMicrobenchReps; ++k) {
+        kb.emit(Instr{.op = op, .dst = 4, .a = R(1)});
+        kb.gst(R(6), R(4), static_cast<std::int32_t>(k * kThreads));
+      }
+      break;
+    case Opcode::GLD:
+    case Opcode::GST:
+      // Load followed by store, repeated (Sec. V-A).
+      for (unsigned k = 0; k < kMicrobenchReps; ++k) {
+        kb.iadd(5, R(0), S(SReg::PARAM0));
+        kb.gld(4, R(5));
+        kb.gst(R(6), R(4), static_cast<std::int32_t>(k * kThreads));
+      }
+      break;
+    case Opcode::BRA:
+      // Set-register instructions guarded by a branch: a fault shows up as
+      // a wrongly-assigned register or a failed branch condition.
+      kb.movi(4, 0);
+      for (unsigned k = 0; k < kMicrobenchReps; ++k) {
+        kb.isetp(0, CmpOp::LT, R(1), R(2));
+        kb.if_begin(0);
+        kb.iadd(4, R(4), I(1));
+        kb.else_begin();
+        kb.iadd(4, R(4), I(100));
+        kb.if_end();
+        kb.gst(R(6), R(4), static_cast<std::int32_t>(k * kThreads));
+      }
+      break;
+    case Opcode::ISETP:
+      for (unsigned k = 0; k < kMicrobenchReps; ++k) {
+        kb.isetp(0, CmpOp::GE, R(1), R(2));
+        kb.sel(4, I(1), I(0), 0);
+        kb.gst(R(6), R(4), static_cast<std::int32_t>(k * kThreads));
+      }
+      break;
+    default:
+      throw std::invalid_argument("make_microbenchmark: not characterized");
+  }
+  w.program = kb.build();
+  w.program.params = {kInA, kInB, kInC, kOut, 0, 0, 0, 0};
+  w.out_words = kMicrobenchReps * kThreads;
+  w.thread_modulo = kThreads;
+
+  const bool int_inputs =
+      cls == OpClass::Int32 || op == Opcode::BRA || op == Opcode::ISETP;
+  w.setup = [range, value_seed, is_sfu, int_inputs,
+             memory_values_float](rtl::Sm& sm) {
+    (void)memory_values_float;
+    Rng rng(value_seed * 0x9e3779b1ull + 17);
+    for (unsigned t = 0; t < kThreads; ++t) {
+      if (is_sfu) {
+        sm.write_float(kInA + t, draw_sfu(rng));
+        sm.write_float(kInB + t, draw_sfu(rng));
+        sm.write_float(kInC + t, draw_sfu(rng));
+      } else if (int_inputs) {
+        sm.write_word(kInA + t, draw_int(rng, range));
+        sm.write_word(kInB + t, draw_int(rng, range));
+        sm.write_word(kInC + t, draw_int(rng, range));
+      } else {
+        sm.write_float(kInA + t, draw_fp(rng, range));
+        sm.write_float(kInB + t, draw_fp(rng, range));
+        sm.write_float(kInC + t, draw_fp(rng, range));
+      }
+    }
+    sm.fill(kOut, kMicrobenchReps * kThreads, 0);
+  };
+  return w;
+}
+
+Workload make_tmxm(TileKind kind, std::uint64_t value_seed) {
+  constexpr unsigned kTile = 8;
+  constexpr std::uint32_t kA = 0;
+  constexpr std::uint32_t kB = kA + kTile * kTile;
+  constexpr std::uint32_t kC = kB + kTile * kTile;
+
+  Workload w;
+  w.name = std::string("t-MxM/") + std::string(tile_name(kind));
+  w.dims = rtl::GridDims{1, 1, kTile, kTile};
+  w.out_base = kC;
+  w.out_words = kTile * kTile;
+  w.out_is_float = true;
+  w.out_rows = kTile;
+  w.out_cols = kTile;
+
+  KernelBuilder kb(w.name);
+  kb.shared(2 * kTile * kTile);
+  kb.mov(0, S(SReg::TID_X));                       // tx
+  kb.mov(1, S(SReg::TID_Y));                       // ty
+  kb.imad(2, R(1), S(SReg::NTID_X), R(0));         // idx = ty*8+tx
+  // Stage the tile operands into shared memory.
+  kb.iadd(3, R(2), S(SReg::PARAM0));
+  kb.gld(4, R(3));
+  kb.sts(R(2), R(4));                              // sA[idx]
+  kb.iadd(3, R(2), S(SReg::PARAM1));
+  kb.gld(4, R(3));
+  kb.sts(R(2), R(4), kTile * kTile);               // sB[idx]
+  kb.bar();
+  // acc = 0; for k in 0..7: acc += sA[ty*8+k] * sB[k*8+tx]
+  kb.movf(5, 0.0f);                                // acc
+  kb.movi(6, 0);                                   // k
+  kb.imul(7, R(1), S(SReg::NTID_X));               // ty*8
+  kb.loop_begin();
+  kb.isetp(0, CmpOp::LT, R(6), S(SReg::NTID_X));
+  kb.loop_while(0);
+  kb.iadd(8, R(7), R(6));                          // ty*8+k
+  kb.lds(9, R(8));                                 // a
+  kb.imad(10, R(6), S(SReg::NTID_X), R(0));        // k*8+tx
+  kb.lds(11, R(10), kTile * kTile);                // b
+  kb.ffma(5, R(9), R(11), R(5));
+  kb.iadd(6, R(6), I(1));
+  kb.loop_end();
+  kb.iadd(12, R(2), S(SReg::PARAM2));
+  kb.gst(R(12), R(5));
+  w.program = kb.build();
+  w.program.params = {kA, kB, kC, 0, 0, 0, 0, 0};
+  w.thread_modulo = kTile * kTile;
+
+  w.setup = [kind, value_seed](rtl::Sm& sm) {
+    Rng rng(value_seed * 0x2545f4914f6cdd1dull + 3);
+    auto draw = [&](bool& zeroed) -> float {
+      zeroed = false;
+      switch (kind) {
+        case TileKind::Max:
+          // Feature-map tile with the highest element sum: dense, large.
+          return static_cast<float>(rng.uniform(0.8, 1.6));
+        case TileKind::Zero:
+          // Padding-edge tile: mostly zero operands.
+          if (rng.chance(0.8)) {
+            zeroed = true;
+            return 0.0f;
+          }
+          return static_cast<float>(rng.uniform(-0.2, 0.2));
+        case TileKind::Random:
+          return static_cast<float>(rng.uniform(-1.0, 1.0));
+      }
+      return 0.0f;
+    };
+    bool z;
+    for (unsigned i = 0; i < kTile * kTile; ++i)
+      sm.write_float(kA + i, draw(z));
+    for (unsigned i = 0; i < kTile * kTile; ++i)
+      sm.write_float(kB + i, draw(z));
+    sm.fill(kC, kTile * kTile, 0);
+  };
+  return w;
+}
+
+}  // namespace gpufi::rtlfi

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "isa/isa.hpp"
+#include "rtlfi/campaign.hpp"
+
+namespace gpufi::rtlfi {
+
+/// The paper's three operand magnitude ranges (Sec. V-A):
+///   Small : both inputs in [6.8e-6, 7.3e-6]
+///   Medium: [1.8, 59.4]
+///   Large : [3.8e9, 12.5e9]
+/// For integer instructions the ranges are adapted to the int32 domain
+/// (S: [2,7], M: [2,59], L: [1.2e9, 2.1e9]); SFU inputs are drawn from
+/// [0, pi/2] per the unit's operational constraints.
+enum class InputRange : std::uint8_t { Small = 0, Medium = 1, Large = 2 };
+
+constexpr std::size_t kNumRanges = 3;
+
+/// Range name ("S"/"M"/"L").
+std::string_view range_name(InputRange r);
+
+/// Classifies a floating-point magnitude into the nearest range (the rule
+/// the software injector uses: below Small's top -> S, above Large's
+/// bottom -> L, else M).
+InputRange classify_float_input(float magnitude);
+/// Same for integer magnitudes.
+InputRange classify_int_input(std::uint32_t magnitude);
+
+/// Number of repetitions of the characterized instruction per thread in a
+/// micro-benchmark (each result is stored separately so later executions
+/// cannot overwrite an earlier corruption).
+constexpr unsigned kMicrobenchReps = 4;
+
+/// Builds the micro-benchmark Workload for one of the 12 characterized
+/// instructions: 64 threads (2 warps), every thread executing the same
+/// instruction on per-thread inputs drawn from `range` with `value_seed`
+/// (the paper averages 4 seeds per range).
+Workload make_microbenchmark(isa::Opcode op, InputRange range,
+                             std::uint64_t value_seed);
+
+/// Input tile flavours for the t-MxM mini-app (Sec. V-A): the tile with the
+/// highest element sum (Max), the tile with the most zeros (Zero, padding
+/// tiles at feature-map edges), and an unbiased tile (Random).
+enum class TileKind : std::uint8_t { Max = 0, Zero = 1, Random = 2 };
+
+std::string_view tile_name(TileKind k);
+
+/// Builds the tiled matrix-multiplication mini-app: one 8x8 tile per CTA
+/// (64 threads), shared-memory staging, barrier, K-loop of FFMAs — the
+/// workload whose scheduler faults produce the spatial error patterns of
+/// Fig. 8.
+Workload make_tmxm(TileKind kind, std::uint64_t value_seed);
+
+}  // namespace gpufi::rtlfi

@@ -1,0 +1,181 @@
+#include "swfi/swfi.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/statistics.hpp"
+#include "rtlfi/microbench.hpp"
+
+namespace gpufi::swfi {
+
+using isa::Opcode;
+
+std::string_view fault_model_name(FaultModel m) {
+  switch (m) {
+    case FaultModel::SingleBitFlip: return "single bit-flip";
+    case FaultModel::DoubleBitFlip: return "double bit-flip";
+    case FaultModel::RelativeError: return "relative error";
+    case FaultModel::WarpRelativeError: return "warp relative error";
+  }
+  return "?";
+}
+
+bool ProfileHook::is_candidate(Opcode op) {
+  if (!isa::is_characterized(op)) return false;
+  // BRA and GST have no destination value to corrupt.
+  return op != Opcode::BRA && op != Opcode::GST;
+}
+
+void ProfileHook::on_retire(const emu::RetireInfo& info, std::uint32_t&) {
+  if (is_candidate(info.instr->op)) ++candidates_;
+}
+
+void ProfileHook::on_pred_retire(const emu::RetireInfo& info, bool&) {
+  if (is_candidate(info.instr->op)) ++candidates_;
+}
+
+InjectHook::InjectHook(FaultModel model, std::uint64_t target,
+                       std::uint64_t seed, const syndrome::Database* db,
+                       bool memory_is_float)
+    : model_(model),
+      target_(target),
+      rng_(seed),
+      db_(db),
+      memory_is_float_(memory_is_float) {}
+
+bool InjectHook::take_shot(const emu::RetireInfo& info) {
+  const Opcode op = info.instr->op;
+  if (!ProfileHook::is_candidate(op)) return false;
+  if (fired_) {
+    // Warp-level model: the emulator retires a warp instruction lane by
+    // lane, so corrupting "the rest of the warp" means continuing to fire
+    // while the same (CTA, warp, pc) instruction keeps retiring. Any other
+    // candidate retirement from that warp disarms the fault, so a loop
+    // re-executing the same PC is NOT corrupted again (transient
+    // semantics), and at most one warp's worth of lanes is hit.
+    if (model_ != FaultModel::WarpRelativeError || !armed_) return false;
+    if (info.pc != hit_pc_ || info.thread.cta != hit_cta_ ||
+        info.thread.warp != hit_warp_ || hits_ >= 32) {
+      armed_ = false;
+      return false;
+    }
+    ++hits_;
+    return true;
+  }
+  if (seen_++ != target_) return false;
+  fired_ = true;
+  hits_ = 1;
+  hit_op_ = op;
+  hit_pc_ = info.pc;
+  hit_cta_ = info.thread.cta;
+  hit_warp_ = info.thread.warp;
+  return true;
+}
+
+std::uint32_t InjectHook::corrupt_value(const emu::RetireInfo& info,
+                                        std::uint32_t value) {
+  const Opcode op = info.instr->op;
+  switch (model_) {
+    case FaultModel::SingleBitFlip:
+      return value ^ (1u << rng_.below(32));
+    case FaultModel::DoubleBitFlip: {
+      const unsigned b1 = static_cast<unsigned>(rng_.below(32));
+      unsigned b2 = static_cast<unsigned>(rng_.below(31));
+      if (b2 >= b1) ++b2;
+      return value ^ (1u << b1) ^ (1u << b2);
+    }
+    case FaultModel::RelativeError:
+    case FaultModel::WarpRelativeError:
+      break;
+  }
+  // RTL-syndrome relative error: the magnitude range is classified from the
+  // instruction's actual inputs, exactly as the modified NVBitFI does.
+  const bool fp_dest =
+      isa::op_class(op) == isa::OpClass::Fp32 ||
+      isa::op_class(op) == isa::OpClass::Special ||
+      (op == Opcode::GLD && memory_is_float_);
+  rtlfi::InputRange range;
+  if (fp_dest) {
+    const float a = std::bit_cast<float>(info.a);
+    const float b = std::bit_cast<float>(info.b);
+    const float mag = std::max(std::fabs(a), std::fabs(b));
+    range = rtlfi::classify_float_input(mag);
+  } else {
+    const auto mag_of = [](std::uint32_t v) {
+      const auto s = static_cast<std::int32_t>(v);
+      return static_cast<std::uint32_t>(s < 0 ? -static_cast<std::int64_t>(s)
+                                              : s);
+    };
+    range = rtlfi::classify_int_input(std::max(mag_of(info.a),
+                                               mag_of(info.b)));
+  }
+  double rel = 1.0;
+  if (db_) {
+    if (const auto s = db_->sample_relative_error(op, range, rng_)) rel = *s;
+  }
+  applied_rel_ = rel;
+  const double sign = rng_.chance(0.5) ? 1.0 : -1.0;
+  if (fp_dest) {
+    const double v = std::bit_cast<float>(value);
+    return std::bit_cast<std::uint32_t>(
+        static_cast<float>(v * (1.0 + sign * rel)));
+  }
+  const double v = static_cast<std::int32_t>(value);
+  const double corrupted = v * (1.0 + sign * rel);
+  // Wraparound semantics of the integer datapath.
+  if (!std::isfinite(corrupted)) return value;
+  return static_cast<std::uint32_t>(
+      static_cast<std::int64_t>(std::llrint(
+          std::clamp(corrupted, -9.2e18, 9.2e18))));
+}
+
+void InjectHook::on_retire(const emu::RetireInfo& info, std::uint32_t& value) {
+  if (!take_shot(info)) return;
+  value = corrupt_value(info, value);
+}
+
+void InjectHook::on_pred_retire(const emu::RetireInfo& info, bool& value) {
+  if (!take_shot(info)) return;
+  // A predicate's only corruption is inversion, for every fault model.
+  value = !value;
+}
+
+double Result::margin_of_error() const {
+  return stats::proportion_margin_of_error(pvf(), injections);
+}
+
+Result run_sw_campaign(const App& app, const Config& cfg) {
+  Result result;
+
+  // Golden pass: profile + reference output.
+  ProfileHook profile;
+  emu::Device golden(app.device_words);
+  if (!app.run(golden, &profile))
+    throw std::runtime_error("golden run failed for " + app.name);
+  const auto golden_out = app.read_output(golden);
+  result.candidate_instructions = profile.candidates();
+  if (profile.candidates() == 0)
+    throw std::runtime_error("no injectable instructions in " + app.name);
+
+  Rng rng(cfg.seed);
+  for (std::size_t i = 0; i < cfg.n_injections; ++i) {
+    const std::uint64_t target = rng.below(profile.candidates());
+    InjectHook hook(cfg.model, target, rng(), cfg.db, app.memory_is_float);
+    emu::Device dev(app.device_words);
+    const bool ok = app.run(dev, &hook);
+    ++result.injections;
+    if (!ok) {
+      ++result.due;
+      continue;
+    }
+    if (app.read_output(dev) == golden_out)
+      ++result.masked;
+    else
+      ++result.sdc;
+  }
+  return result;
+}
+
+}  // namespace gpufi::swfi

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "emu/device.hpp"
+#include "syndrome/syndrome.hpp"
+
+namespace gpufi::swfi {
+
+/// Software fault models. SingleBitFlip/DoubleBitFlip are the traditional
+/// NVBitFI models; RelativeError injects the RTL-derived syndrome
+/// distribution (the paper's contribution).
+enum class FaultModel : std::uint8_t {
+  SingleBitFlip,
+  DoubleBitFlip,
+  RelativeError,
+  /// Extension (Sec. VI: "NVBitFI could inject in multiple threads"):
+  /// corrupts the destination of the targeted dynamic instruction in EVERY
+  /// thread of its warp, each with an independently sampled relative error
+  /// — the software image of a scheduler-class whole-warp fault.
+  WarpRelativeError,
+};
+
+std::string_view fault_model_name(FaultModel m);
+
+/// An application under software fault injection: a self-contained runner
+/// plus an output reader used for SDC classification.
+struct App {
+  std::string name;
+  /// Runs the whole application (allocations, input generation, kernel
+  /// launches) on a fresh device with `hook` attached to every launch.
+  /// Returns false if any launch trapped or timed out (-> DUE).
+  std::function<bool(emu::Device&, emu::InstrumentHook*)> run;
+  /// Reads the output words used for golden/faulty comparison.
+  std::function<std::vector<std::uint32_t>(const emu::Device&)> read_output;
+  /// Device size for this app.
+  std::size_t device_words = 1 << 22;
+  /// Interpret GLD-loaded values as floats when applying relative errors.
+  bool memory_is_float = true;
+};
+
+/// Profile pass: counts the dynamic instructions eligible for injection
+/// (RTL-characterized opcodes that produce a register or predicate value).
+class ProfileHook : public emu::InstrumentHook {
+ public:
+  void on_retire(const emu::RetireInfo& info, std::uint32_t& value) override;
+  void on_pred_retire(const emu::RetireInfo& info, bool& value) override;
+
+  std::uint64_t candidates() const { return candidates_; }
+
+  /// True if `op` is an injection candidate (value-producing characterized
+  /// instruction; BRA and stores have no destination and are excluded).
+  static bool is_candidate(isa::Opcode op);
+
+ private:
+  std::uint64_t candidates_ = 0;
+};
+
+/// Injection pass: corrupts the destination of the `target`-th candidate
+/// dynamic instruction according to the fault model.
+class InjectHook : public emu::InstrumentHook {
+ public:
+  InjectHook(FaultModel model, std::uint64_t target, std::uint64_t seed,
+             const syndrome::Database* db, bool memory_is_float);
+
+  void on_retire(const emu::RetireInfo& info, std::uint32_t& value) override;
+  void on_pred_retire(const emu::RetireInfo& info, bool& value) override;
+
+  bool fired() const { return fired_; }
+  /// Number of corrupted thread-destinations (1, or up to 32 for the
+  /// warp-level model).
+  unsigned corrupted_threads() const { return hits_; }
+  /// Opcode of the corrupted instruction (valid once fired).
+  isa::Opcode hit_opcode() const { return hit_op_; }
+  /// Relative error applied (RelativeError model, FP destinations).
+  double applied_rel_error() const { return applied_rel_; }
+
+ private:
+  bool take_shot(const emu::RetireInfo& info);
+  std::uint32_t corrupt_value(const emu::RetireInfo& info,
+                              std::uint32_t value);
+
+  FaultModel model_;
+  std::uint64_t target_;
+  std::uint64_t seen_ = 0;
+  Rng rng_;
+  const syndrome::Database* db_;
+  bool memory_is_float_;
+  bool fired_ = false;
+  unsigned hits_ = 0;
+  isa::Opcode hit_op_ = isa::Opcode::NOP;
+  double applied_rel_ = 0.0;
+  // Warp-level continuation state: keep corrupting lanes of the same
+  // warp-instruction until the warp moves on.
+  bool armed_ = true;
+  std::int32_t hit_pc_ = -1;
+  unsigned hit_cta_ = 0, hit_warp_ = 0;
+};
+
+/// Software fault-injection campaign parameters.
+struct Config {
+  FaultModel model = FaultModel::SingleBitFlip;
+  const syndrome::Database* db = nullptr;  ///< required for RelativeError
+  std::size_t n_injections = 500;
+  std::uint64_t seed = 1;
+};
+
+/// Campaign outcome: the Program Vulnerability Factor data of Fig. 10 /
+/// Table III.
+struct Result {
+  std::size_t injections = 0;
+  std::size_t masked = 0;
+  std::size_t sdc = 0;
+  std::size_t due = 0;
+  std::uint64_t candidate_instructions = 0;
+
+  /// SDC PVF: probability that a fault which reached an architecturally
+  /// visible state corrupts the application output.
+  double pvf() const {
+    return injections == 0 ? 0.0
+                           : static_cast<double>(sdc) /
+                                 static_cast<double>(injections);
+  }
+  double due_rate() const {
+    return injections == 0 ? 0.0
+                           : static_cast<double>(due) /
+                                 static_cast<double>(injections);
+  }
+  /// 95% margin of error on the PVF.
+  double margin_of_error() const;
+};
+
+/// Runs a software fault-injection campaign on one application: one golden
+/// run (profile + reference output), then `n_injections` runs with exactly
+/// one corrupted dynamic instruction each.
+Result run_sw_campaign(const App& app, const Config& cfg);
+
+}  // namespace gpufi::swfi

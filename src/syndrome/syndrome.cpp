@@ -1,0 +1,377 @@
+#include "syndrome/syndrome.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/statistics.hpp"
+
+namespace gpufi::syndrome {
+
+void Dist::add(double rel_error) {
+  if (!(rel_error > 0.0) || !std::isfinite(rel_error)) {
+    // Zero/invalid relative errors carry no syndrome information.
+    return;
+  }
+  ++n_;
+  hist_.add(rel_error);
+  if (samples_.size() < kMaxSamples) samples_.push_back(rel_error);
+}
+
+double Dist::median() const { return stats::median(samples_); }
+
+bool Dist::fit() {
+  fit_.reset();
+  try {
+    fit_ = fit_power_law(samples_);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+double Dist::shapiro_p() const {
+  if (samples_.size() < 8) return 1.0;
+  // Test at most 4000 samples (Royston's approximation is rated to n=5000).
+  std::span<const double> s(samples_.data(),
+                            std::min<std::size_t>(samples_.size(), 4000));
+  return stats::shapiro_wilk(s).p_value;
+}
+
+double Dist::sample(Rng& rng) const {
+  if (n_ == 0) return 0.0;
+  if (fit_) {
+    // Eq. (1): x = x_min * (1 - r)^(-1 / (alpha - 1)).
+    return fit_->sample(rng);
+  }
+  return hist_.sample(rng);
+}
+
+std::string_view pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::Single: return "single";
+    case Pattern::Row: return "row";
+    case Pattern::Col: return "col";
+    case Pattern::RowCol: return "row+col";
+    case Pattern::Block: return "block";
+    case Pattern::Random: return "rand";
+    case Pattern::All: return "all";
+  }
+  return "?";
+}
+
+Pattern classify_pattern(const std::vector<std::uint32_t>& indices,
+                         unsigned rows, unsigned cols) {
+  if (indices.empty() || rows == 0 || cols == 0) return Pattern::Single;
+  if (indices.size() == 1) return Pattern::Single;
+  std::set<unsigned> rset, cset;
+  unsigned rmin = rows, rmax = 0, cmin = cols, cmax = 0;
+  for (auto idx : indices) {
+    const unsigned r = idx / cols, c = idx % cols;
+    rset.insert(r);
+    cset.insert(c);
+    rmin = std::min(rmin, r);
+    rmax = std::max(rmax, r);
+    cmin = std::min(cmin, c);
+    cmax = std::max(cmax, c);
+  }
+  const std::size_t n = indices.size();
+  if (n + 2 >= static_cast<std::size_t>(rows) * cols) return Pattern::All;
+  if (rset.size() == 1) return Pattern::Row;
+  if (cset.size() == 1) return Pattern::Col;
+  // Row+column: every element lies on one specific row or one specific
+  // column, and both carry at least two elements.
+  for (unsigned r : rset) {
+    for (unsigned c : cset) {
+      std::size_t on_r = 0, on_c = 0;
+      bool outside = false;
+      for (auto idx : indices) {
+        const unsigned ir = idx / cols, ic = idx % cols;
+        if (ir == r) ++on_r;
+        if (ic == c) ++on_c;
+        if (ir != r && ic != c) outside = true;
+      }
+      if (!outside && on_r >= 2 && on_c >= 2) return Pattern::RowCol;
+    }
+  }
+  // Block: a filled bounding rectangle (taller and wider than one line).
+  const std::size_t area =
+      static_cast<std::size_t>(rmax - rmin + 1) * (cmax - cmin + 1);
+  if (area == n) return Pattern::Block;
+  return Pattern::Random;
+}
+
+std::size_t TilePatternStats::total() const {
+  std::size_t t = 0;
+  for (auto c : counts) t += c;
+  return t;
+}
+
+double TilePatternStats::multi_fraction(Pattern p) const {
+  std::size_t multi = 0;
+  for (std::size_t i = 1; i < kNumPatterns; ++i) multi += counts[i];
+  if (multi == 0 || p == Pattern::Single) return 0.0;
+  return static_cast<double>(counts[static_cast<std::size_t>(p)]) /
+         static_cast<double>(multi);
+}
+
+void Database::add_campaign(const Key& key,
+                            const rtlfi::CampaignResult& result) {
+  Dist& d = dists_[key];
+  for (const auto& rec : result.records) {
+    if (rec.outcome != rtlfi::Outcome::Sdc) continue;
+    for (const auto& diff : rec.diffs) d.add(diff.rel_error);
+  }
+}
+
+void Database::add_tmxm_campaign(rtl::Module site, unsigned rows,
+                                 unsigned cols,
+                                 const rtlfi::CampaignResult& result) {
+  TilePatternStats& s = tmxm_mutable(site);
+  for (const auto& rec : result.records) {
+    if (rec.outcome != rtlfi::Outcome::Sdc) continue;
+    std::vector<std::uint32_t> indices;
+    double max_rel = 0.0;
+    for (const auto& diff : rec.diffs) {
+      indices.push_back(diff.index);
+      s.elements.add(diff.rel_error);
+      if (std::isfinite(diff.rel_error)) max_rel = std::max(max_rel, diff.rel_error);
+    }
+    const Pattern p = classify_pattern(indices, rows, cols);
+    ++s.counts[static_cast<std::size_t>(p)];
+    s.record_max.add(max_rel);
+  }
+}
+
+void Database::finalize() {
+  for (auto& [key, dist] : dists_) dist.fit();
+  tmxm_scheduler_.elements.fit();
+  tmxm_scheduler_.record_max.fit();
+  tmxm_pipeline_.elements.fit();
+  tmxm_pipeline_.record_max.fit();
+}
+
+const Dist* Database::find(const Key& key) const {
+  const auto it = dists_.find(key);
+  return it == dists_.end() ? nullptr : &it->second;
+}
+
+std::optional<double> Database::sample_relative_error(
+    isa::Opcode op, rtlfi::InputRange range, Rng& rng) const {
+  // Pool modules for this (op, range), weighted by observed SDC counts.
+  std::vector<const Dist*> pool;
+  std::size_t total = 0;
+  for (const auto& [key, dist] : dists_) {
+    if (key.op != op || key.range != range || dist.count() == 0) continue;
+    pool.push_back(&dist);
+    total += dist.count();
+  }
+  if (total == 0) return std::nullopt;
+  std::size_t target = rng.below(total);
+  for (const Dist* d : pool) {
+    if (target < d->count()) return d->sample(rng);
+    target -= d->count();
+  }
+  return pool.back()->sample(rng);
+}
+
+const TilePatternStats& Database::tmxm(rtl::Module site) const {
+  return site == rtl::Module::Scheduler ? tmxm_scheduler_ : tmxm_pipeline_;
+}
+TilePatternStats& Database::tmxm_mutable(rtl::Module site) {
+  return site == rtl::Module::Scheduler ? tmxm_scheduler_ : tmxm_pipeline_;
+}
+
+TileCorruption Database::sample_tile_corruption(unsigned rows, unsigned cols,
+                                                Rng& rng) const {
+  TileCorruption out;
+  // Pick the injection site by its SDC mass, then the pattern by observed
+  // frequency at that site.
+  const TilePatternStats* site = &tmxm_scheduler_;
+  const std::size_t tot_s = tmxm_scheduler_.total();
+  const std::size_t tot_p = tmxm_pipeline_.total();
+  if (tot_s + tot_p == 0) {
+    // Untrained database: a single-element corruption with a fixed error.
+    out.pattern = Pattern::Single;
+    out.elements.push_back({0, 0, 1.0});
+    return out;
+  }
+  if (rng.below(tot_s + tot_p) >= tot_s) site = &tmxm_pipeline_;
+
+  std::size_t target = rng.below(site->total());
+  std::size_t chosen = 0;
+  for (std::size_t i = 0; i < kNumPatterns; ++i) {
+    if (target < site->counts[i]) {
+      chosen = i;
+      break;
+    }
+    target -= site->counts[i];
+  }
+  out.pattern = static_cast<Pattern>(chosen);
+
+  // Geometry.
+  std::vector<std::pair<unsigned, unsigned>> cells;
+  const unsigned r0 = static_cast<unsigned>(rng.below(rows));
+  const unsigned c0 = static_cast<unsigned>(rng.below(cols));
+  switch (out.pattern) {
+    case Pattern::Single:
+      cells.push_back({r0, c0});
+      break;
+    case Pattern::Row:
+      for (unsigned c = 0; c < cols; ++c) cells.push_back({r0, c});
+      break;
+    case Pattern::Col:
+      for (unsigned r = 0; r < rows; ++r) cells.push_back({r, c0});
+      break;
+    case Pattern::RowCol:
+      for (unsigned c = 0; c < cols; ++c) cells.push_back({r0, c});
+      for (unsigned r = 0; r < rows; ++r)
+        if (r != r0) cells.push_back({r, c0});
+      break;
+    case Pattern::Block: {
+      const unsigned h = 2 + static_cast<unsigned>(rng.below(
+                                 std::max(1u, rows - 2)));
+      const unsigned w = 2 + static_cast<unsigned>(rng.below(
+                                 std::max(1u, cols - 2)));
+      const unsigned rb = static_cast<unsigned>(
+          rng.below(rows - std::min(h, rows) + 1));
+      const unsigned cb = static_cast<unsigned>(
+          rng.below(cols - std::min(w, cols) + 1));
+      for (unsigned r = rb; r < std::min(rows, rb + h); ++r)
+        for (unsigned c = cb; c < std::min(cols, cb + w); ++c)
+          cells.push_back({r, c});
+      break;
+    }
+    case Pattern::Random: {
+      const unsigned n =
+          2 + static_cast<unsigned>(rng.below(rows * cols / 4));
+      std::set<std::pair<unsigned, unsigned>> uniq;
+      while (uniq.size() < n)
+        uniq.insert({static_cast<unsigned>(rng.below(rows)),
+                     static_cast<unsigned>(rng.below(cols))});
+      cells.assign(uniq.begin(), uniq.end());
+      break;
+    }
+    case Pattern::All:
+      for (unsigned r = 0; r < rows; ++r)
+        for (unsigned c = 0; c < cols; ++c) cells.push_back({r, c});
+      break;
+  }
+
+  // Two-level relative-error scheme (Sec. V-D): Eq. (1) selects the range
+  // (the record's maximum error), a second power-law draw places each
+  // element within it.
+  const double range_max = std::max(site->record_max.sample(rng), 1e-9);
+  for (auto [r, c] : cells) {
+    double frac = 1.0;
+    if (site->elements.power_law()) {
+      const auto& pl = *site->elements.power_law();
+      frac = pl.x_min / std::max(pl.sample(rng), pl.x_min);
+    } else {
+      frac = rng.uniform(0.05, 1.0);
+    }
+    out.elements.push_back({r, c, range_max * frac});
+  }
+  return out;
+}
+
+std::vector<Key> Database::keys() const {
+  std::vector<Key> ks;
+  ks.reserve(dists_.size());
+  for (const auto& [key, dist] : dists_) ks.push_back(key);
+  return ks;
+}
+
+// ------------------------------------------------------------ serialization
+
+namespace {
+
+void save_dist(std::ostream& os, const Dist& d) {
+  os << d.count() << ' ' << d.samples().size();
+  for (double s : d.samples()) os << ' ' << s;
+  os << '\n';
+}
+
+Dist load_dist(std::istream& is) {
+  Dist d;
+  std::size_t count = 0, stored = 0;
+  is >> count >> stored;
+  for (std::size_t i = 0; i < stored; ++i) {
+    double s;
+    is >> s;
+    d.add(s);
+  }
+  d.fit();
+  return d;
+}
+
+void save_tmxm(std::ostream& os, const TilePatternStats& s) {
+  os << "tmxm";
+  for (auto c : s.counts) os << ' ' << c;
+  os << '\n';
+  save_dist(os, s.record_max);
+  save_dist(os, s.elements);
+}
+
+TilePatternStats load_tmxm(std::istream& is) {
+  TilePatternStats s;
+  std::string tag;
+  is >> tag;
+  if (tag != "tmxm") throw std::runtime_error("syndrome db: bad tmxm tag");
+  for (auto& c : s.counts) is >> c;
+  s.record_max = load_dist(is);
+  s.elements = load_dist(is);
+  return s;
+}
+
+}  // namespace
+
+void Database::save(std::ostream& os) const {
+  os << "gpufi-syndrome-db 1\n";
+  os << dists_.size() << '\n';
+  for (const auto& [key, dist] : dists_) {
+    os << static_cast<int>(key.module) << ' ' << static_cast<int>(key.op)
+       << ' ' << static_cast<int>(key.range) << '\n';
+    save_dist(os, dist);
+  }
+  save_tmxm(os, tmxm_scheduler_);
+  save_tmxm(os, tmxm_pipeline_);
+}
+
+Database Database::load(std::istream& is) {
+  Database db;
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  if (magic != "gpufi-syndrome-db" || version != 1)
+    throw std::runtime_error("syndrome db: bad header");
+  std::size_t n = 0;
+  is >> n;
+  for (std::size_t i = 0; i < n; ++i) {
+    int m, o, r;
+    is >> m >> o >> r;
+    Key key{static_cast<rtl::Module>(m), static_cast<isa::Opcode>(o),
+            static_cast<rtlfi::InputRange>(r)};
+    db.dists_[key] = load_dist(is);
+  }
+  db.tmxm_scheduler_ = load_tmxm(is);
+  db.tmxm_pipeline_ = load_tmxm(is);
+  return db;
+}
+
+void Database::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write " + path);
+  save(os);
+}
+
+Database Database::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot read " + path);
+  return load(is);
+}
+
+}  // namespace gpufi::syndrome

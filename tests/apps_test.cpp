@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "emu/profiler.hpp"
+
+namespace gpufi::apps {
+namespace {
+
+void expect_runs_and_validates(HpcApp h, double min_char_frac) {
+  emu::Device dev(h.app.device_words);
+  emu::Profiler prof;
+  ASSERT_TRUE(h.app.run(dev, &prof)) << h.app.name;
+  EXPECT_TRUE(h.validate(dev)) << h.app.name;
+  EXPECT_FALSE(h.app.read_output(dev).empty());
+  // The paper: the characterized opcodes cover most dynamic instructions.
+  EXPECT_GT(prof.characterized_fraction(), min_char_frac) << h.app.name;
+}
+
+TEST(Apps, MxM) { expect_runs_and_validates(make_mxm(24), 0.6); }
+TEST(Apps, Gaussian) { expect_runs_and_validates(make_gaussian(24), 0.6); }
+TEST(Apps, Lud) { expect_runs_and_validates(make_lud(24), 0.6); }
+TEST(Apps, Hotspot) { expect_runs_and_validates(make_hotspot(16, 4), 0.45); }
+TEST(Apps, Lava) { expect_runs_and_validates(make_lava(2, 32), 0.8); }
+TEST(Apps, Quicksort) {
+  expect_runs_and_validates(make_quicksort(512), 0.8);
+}
+
+TEST(Apps, AllSixHaveDistinctNames) {
+  const auto apps = all_hpc_apps();
+  ASSERT_EQ(apps.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& a : apps) names.insert(a.app.name);
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(Apps, RunsAreDeterministic) {
+  auto h = make_hotspot(16, 4);
+  emu::Device d1(h.app.device_words), d2(h.app.device_words);
+  ASSERT_TRUE(h.app.run(d1, nullptr));
+  ASSERT_TRUE(h.app.run(d2, nullptr));
+  EXPECT_EQ(h.app.read_output(d1), h.app.read_output(d2));
+}
+
+TEST(Apps, LavaUsesSpecialFunctionUnit) {
+  auto h = make_lava(1, 32);
+  emu::Device dev(h.app.device_words);
+  emu::Profiler prof;
+  ASSERT_TRUE(h.app.run(dev, &prof));
+  EXPECT_GT(prof.count(isa::Opcode::FEXP), 0u);
+}
+
+TEST(Apps, QuicksortIsControlHeavy) {
+  auto h = make_quicksort(512);
+  emu::Device dev(h.app.device_words);
+  emu::Profiler prof;
+  ASSERT_TRUE(h.app.run(dev, &prof));
+  EXPECT_GT(prof.class_fraction(isa::OpClass::Control), 0.2);
+}
+
+TEST(Apps, MxMIsFfmaDominatedAmongFp) {
+  auto h = make_mxm(24);
+  emu::Device dev(h.app.device_words);
+  emu::Profiler prof;
+  ASSERT_TRUE(h.app.run(dev, &prof));
+  EXPECT_GT(prof.count(isa::Opcode::FFMA), 0u);
+  EXPECT_GT(prof.count(isa::Opcode::FFMA), prof.count(isa::Opcode::FADD));
+}
+
+}  // namespace
+}  // namespace gpufi::apps

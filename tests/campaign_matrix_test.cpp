@@ -1,0 +1,127 @@
+// Parameterized invariant sweep over the full (module x instruction)
+// campaign matrix: every RTL fault-injection campaign, whatever its
+// target, must satisfy the structural invariants of the methodology
+// (consistent accounting, valid detailed records, bounded thread counts,
+// determinism of the golden run). This is the property-test counterpart of
+// the paper's 144-campaign grid.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "rtlfi/campaign.hpp"
+#include "rtlfi/microbench.hpp"
+#include "syndrome/syndrome.hpp"
+
+namespace gpufi::rtlfi {
+namespace {
+
+using isa::Opcode;
+using rtl::Module;
+
+using Case = std::tuple<Opcode, Module, InputRange>;
+
+class CampaignMatrix : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CampaignMatrix, InvariantsHold) {
+  const auto [op, module, range] = GetParam();
+  const auto w = make_microbenchmark(op, range, 2);
+
+  // Golden determinism.
+  rtl::Sm sm;
+  w.setup(sm);
+  const auto g1 = sm.run(w.program, w.dims);
+  ASSERT_EQ(g1.status, rtl::RunStatus::Ok) << g1.trap_reason;
+  w.setup(sm);
+  const auto g2 = sm.run(w.program, w.dims);
+  EXPECT_EQ(g1.cycles, g2.cycles);
+
+  CampaignConfig cfg;
+  cfg.module = module;
+  cfg.n_faults = 160;
+  cfg.seed = 1234;
+  const auto r = run_campaign(w, cfg);
+
+  // Accounting.
+  EXPECT_EQ(r.injected, cfg.n_faults);
+  EXPECT_EQ(r.masked + r.sdc_single + r.sdc_multi + r.due, r.injected);
+  EXPECT_EQ(r.golden_cycles, g1.cycles);
+
+  // Every SDC record is well-formed and within the output geometry.
+  std::size_t sdc_records = 0;
+  for (const auto& rec : r.records) {
+    if (rec.outcome != Outcome::Sdc) continue;
+    ++sdc_records;
+    EXPECT_EQ(rec.fault.module, module);
+    EXPECT_LT(rec.fault.bit, rtl::layouts().of(module).bits());
+    EXPECT_LT(rec.fault.cycle, r.golden_cycles);
+    EXPECT_GE(rec.corrupted_elements, rec.corrupted_threads);
+    EXPECT_GE(rec.corrupted_threads, 1u);
+    EXPECT_LE(rec.corrupted_threads, 64u);  // 2 warps in the micro-benchmark
+    for (const auto& d : rec.diffs) {
+      EXPECT_LT(d.index, w.out_words);
+      EXPECT_NE(d.golden, d.faulty);
+      EXPECT_GE(d.rel_error, 0.0);
+      EXPECT_GE(d.bits_flipped, 1u);
+      EXPECT_LE(d.bits_flipped, 32u);
+    }
+  }
+  EXPECT_EQ(sdc_records, r.sdc_single + r.sdc_multi);
+
+  // Syndrome ingestion never throws and never fabricates samples.
+  syndrome::Database db;
+  db.add_campaign(syndrome::Key{module, op, range}, r);
+  db.finalize();
+  const auto* d = db.find(syndrome::Key{module, op, range});
+  ASSERT_NE(d, nullptr);
+  std::size_t diff_count = 0;
+  for (const auto& rec : r.records)
+    if (rec.outcome == Outcome::Sdc) diff_count += rec.diffs.size();
+  EXPECT_LE(d->count(), diff_count);
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const auto [op, module, range] = info.param;
+  std::string m(rtl::module_name(module));
+  for (auto& c : m)
+    if (c == ' ') c = '_';
+  return std::string(isa::mnemonic(op)) + "_" + m + "_" +
+         std::string(range_name(range));
+}
+
+// The module set per instruction mirrors the paper's grid: FUs only where
+// the instruction exercises them, scheduler and pipeline everywhere.
+std::vector<Case> build_cases() {
+  std::vector<Case> cases;
+  const Opcode ops[] = {Opcode::FADD, Opcode::FMUL, Opcode::FFMA,
+                        Opcode::IADD, Opcode::IMUL, Opcode::IMAD,
+                        Opcode::FSIN, Opcode::FEXP, Opcode::GLD,
+                        Opcode::GST,  Opcode::BRA,  Opcode::ISETP};
+  for (auto op : ops) {
+    std::vector<Module> mods{Module::Scheduler, Module::PipelineRegs};
+    switch (isa::op_class(op)) {
+      case isa::OpClass::Fp32: mods.push_back(Module::Fp32Fu); break;
+      case isa::OpClass::Int32: mods.push_back(Module::IntFu); break;
+      case isa::OpClass::Special:
+        mods.push_back(Module::Sfu);
+        mods.push_back(Module::SfuCtl);
+        break;
+      default: break;
+    }
+    for (auto m : mods) {
+      // One range per (op, module) keeps the sweep fast; Medium everywhere
+      // plus Small/Large spot checks on one op per class.
+      cases.emplace_back(op, m, InputRange::Medium);
+      if (op == Opcode::FFMA || op == Opcode::IMAD)
+        cases.emplace_back(op, m, InputRange::Small);
+      if (op == Opcode::FMUL || op == Opcode::IMUL)
+        cases.emplace_back(op, m, InputRange::Large);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CampaignMatrix,
+                         ::testing::ValuesIn(build_cases()), case_name);
+
+}  // namespace
+}  // namespace gpufi::rtlfi

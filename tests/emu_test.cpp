@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "emu/device.hpp"
+#include "emu/profiler.hpp"
+#include "isa/isa.hpp"
+
+namespace gpufi::emu {
+namespace {
+
+using namespace gpufi::isa;
+
+// Kernel: out[tid] = tid * 2 + 1, flat 1D launch.
+Program affine_kernel(std::uint32_t out_base) {
+  KernelBuilder kb("affine");
+  kb.mov(0, S(SReg::TID_X));                       // R0 = tid.x
+  kb.mov(1, S(SReg::NTID_X));                      // R1 = ntid.x
+  kb.mov(2, S(SReg::CTAID_X));                     // R2 = ctaid.x
+  kb.imad(3, R(2), R(1), R(0));                    // R3 = global tid
+  kb.imad(4, R(3), I(2), I(1));                    // R4 = 2*tid + 1
+  kb.iadd(5, R(3), I(static_cast<std::int32_t>(out_base)));
+  kb.gst(R(5), R(4));
+  return kb.build();
+}
+
+TEST(Device, AllocatorBumpsAndThrows) {
+  Device dev(128);
+  EXPECT_EQ(dev.alloc(100), 0u);
+  EXPECT_EQ(dev.alloc(28), 100u);
+  EXPECT_THROW(dev.alloc(1), std::bad_alloc);
+  dev.reset_allocator();
+  EXPECT_EQ(dev.alloc(1), 0u);
+}
+
+TEST(Device, HostMemoryAccess) {
+  Device dev(64);
+  dev.write_word(3, 0xDEAD);
+  EXPECT_EQ(dev.read_word(3), 0xDEADu);
+  dev.write_float(4, 2.5f);
+  EXPECT_EQ(dev.read_float(4), 2.5f);
+  std::vector<std::uint32_t> buf{1, 2, 3};
+  dev.copy_in(10, buf.data(), 3);
+  std::vector<std::uint32_t> out(3);
+  dev.copy_out(10, out.data(), 3);
+  EXPECT_EQ(out, buf);
+  dev.fill(20, 5, 7);
+  EXPECT_EQ(dev.read_word(24), 7u);
+}
+
+TEST(Device, SingleThreadKernel) {
+  Device dev(256);
+  const auto out = dev.alloc(8);
+  const auto r = dev.launch(affine_kernel(out), {1, 1, 1, 1});
+  EXPECT_EQ(r.status, LaunchStatus::Ok);
+  EXPECT_EQ(dev.read_word(out), 1u);  // 2*0+1
+}
+
+TEST(Device, MultiWarpMultiCtaKernel) {
+  Device dev(4096);
+  const auto out = dev.alloc(256);
+  // 4 CTAs x 64 threads = 256 threads (2 warps per CTA).
+  const auto r = dev.launch(affine_kernel(out), {4, 1, 64, 1});
+  EXPECT_EQ(r.status, LaunchStatus::Ok);
+  for (unsigned t = 0; t < 256; ++t)
+    ASSERT_EQ(dev.read_word(out + t), 2 * t + 1) << t;
+}
+
+TEST(Device, PartialWarpIsHandled) {
+  Device dev(256);
+  const auto out = dev.alloc(40);
+  const auto r = dev.launch(affine_kernel(out), {1, 1, 40, 1});  // 1.25 warps
+  EXPECT_EQ(r.status, LaunchStatus::Ok);
+  for (unsigned t = 0; t < 40; ++t) ASSERT_EQ(dev.read_word(out + t), 2 * t + 1);
+}
+
+TEST(Device, FloatPipelineEndToEnd) {
+  Device dev(256);
+  const auto in = dev.alloc(32);
+  const auto out = dev.alloc(32);
+  for (unsigned i = 0; i < 32; ++i)
+    dev.write_float(in + i, static_cast<float>(i) * 0.5f);
+  KernelBuilder kb("saxpy1");
+  kb.mov(0, S(SReg::TID_X));
+  kb.iadd(1, R(0), I(static_cast<std::int32_t>(in)));
+  kb.gld(2, R(1));                 // x
+  kb.ffma(3, R(2), F(2.0f), F(1.0f));  // 2x + 1
+  kb.iadd(4, R(0), I(static_cast<std::int32_t>(out)));
+  kb.gst(R(4), R(3));
+  const auto r = dev.launch(kb.build(), {1, 1, 32, 1});
+  ASSERT_EQ(r.status, LaunchStatus::Ok);
+  for (unsigned i = 0; i < 32; ++i)
+    ASSERT_EQ(dev.read_float(out + i), static_cast<float>(i) + 1.0f);
+}
+
+TEST(Device, IfElseDivergence) {
+  Device dev(256);
+  const auto out = dev.alloc(32);
+  // out[tid] = tid < 10 ? 111 : 222
+  KernelBuilder kb("diverge");
+  kb.mov(0, S(SReg::TID_X));
+  kb.isetp(0, CmpOp::LT, R(0), I(10));
+  kb.if_begin(0);
+  kb.movi(1, 111);
+  kb.else_begin();
+  kb.movi(1, 222);
+  kb.if_end();
+  kb.iadd(2, R(0), I(static_cast<std::int32_t>(out)));
+  kb.gst(R(2), R(1));
+  const auto r = dev.launch(kb.build(), {1, 1, 32, 1});
+  ASSERT_EQ(r.status, LaunchStatus::Ok);
+  for (unsigned t = 0; t < 32; ++t)
+    ASSERT_EQ(dev.read_word(out + t), t < 10 ? 111u : 222u) << t;
+}
+
+TEST(Device, NestedDivergence) {
+  Device dev(256);
+  const auto out = dev.alloc(32);
+  // if (tid < 16) { if (tid < 8) v=1 else v=2 } else v=3
+  KernelBuilder kb("nested");
+  kb.mov(0, S(SReg::TID_X));
+  kb.isetp(0, CmpOp::LT, R(0), I(16));
+  kb.isetp(1, CmpOp::LT, R(0), I(8));
+  kb.if_begin(0);
+  kb.if_begin(1);
+  kb.movi(1, 1);
+  kb.else_begin();
+  kb.movi(1, 2);
+  kb.if_end();
+  kb.else_begin();
+  kb.movi(1, 3);
+  kb.if_end();
+  kb.iadd(2, R(0), I(static_cast<std::int32_t>(out)));
+  kb.gst(R(2), R(1));
+  const auto r = dev.launch(kb.build(), {1, 1, 32, 1});
+  ASSERT_EQ(r.status, LaunchStatus::Ok);
+  for (unsigned t = 0; t < 32; ++t) {
+    const std::uint32_t want = t < 8 ? 1 : t < 16 ? 2 : 3;
+    ASSERT_EQ(dev.read_word(out + t), want) << t;
+  }
+}
+
+TEST(Device, DataDependentLoopTripCounts) {
+  Device dev(256);
+  const auto out = dev.alloc(32);
+  // Each thread sums 1..tid: different trip counts force repeated
+  // divergence at the loop exit.
+  KernelBuilder kb("tricount");
+  kb.mov(0, S(SReg::TID_X));  // limit
+  kb.movi(1, 0);              // i
+  kb.movi(2, 0);              // acc
+  kb.loop_begin();
+  kb.isetp(0, CmpOp::LT, R(1), R(0));
+  kb.loop_while(0);
+  kb.iadd(1, R(1), I(1));
+  kb.iadd(2, R(2), R(1));
+  kb.loop_end();
+  kb.iadd(3, R(0), I(static_cast<std::int32_t>(out)));
+  kb.gst(R(3), R(2));
+  const auto r = dev.launch(kb.build(), {1, 1, 32, 1});
+  ASSERT_EQ(r.status, LaunchStatus::Ok);
+  for (unsigned t = 0; t < 32; ++t)
+    ASSERT_EQ(dev.read_word(out + t), t * (t + 1) / 2) << t;
+}
+
+TEST(Device, SharedMemoryAndBarrierReduce) {
+  Device dev(256);
+  const auto out = dev.alloc(4);
+  // Block of 64: each thread stores tid to shared, thread 0 sums after bar.
+  KernelBuilder kb("reduce");
+  kb.shared(64);
+  kb.mov(0, S(SReg::TID_X));
+  kb.sts(R(0), R(0));
+  kb.bar();
+  kb.isetp(0, CmpOp::EQ, R(0), I(0));
+  kb.if_begin(0);
+  kb.movi(1, 0);  // i
+  kb.movi(2, 0);  // acc
+  kb.loop_begin();
+  kb.isetp(1, CmpOp::LT, R(1), I(64));
+  kb.loop_while(1);
+  kb.lds(3, R(1));
+  kb.iadd(2, R(2), R(3));
+  kb.iadd(1, R(1), I(1));
+  kb.loop_end();
+  kb.movi(4, static_cast<std::int32_t>(out));
+  kb.gst(R(4), R(2));
+  kb.if_end();
+  const auto r = dev.launch(kb.build(), {1, 1, 64, 1});
+  ASSERT_EQ(r.status, LaunchStatus::Ok);
+  EXPECT_EQ(dev.read_word(out), 64u * 63 / 2);
+}
+
+TEST(Device, TwoDimensionalIndexing) {
+  Device dev(1024);
+  const auto out = dev.alloc(64);
+  // 2x2 grid of 4x4 blocks: out[gy*8+gx] = gy*8+gx
+  KernelBuilder kb("idx2d");
+  kb.mov(0, S(SReg::TID_X));
+  kb.mov(1, S(SReg::TID_Y));
+  kb.mov(2, S(SReg::CTAID_X));
+  kb.mov(3, S(SReg::CTAID_Y));
+  kb.imad(4, R(2), I(4), R(0));  // gx
+  kb.imad(5, R(3), I(4), R(1));  // gy
+  kb.imad(6, R(5), I(8), R(4));  // linear
+  kb.iadd(7, R(6), I(static_cast<std::int32_t>(out)));
+  kb.gst(R(7), R(6));
+  const auto r = dev.launch(kb.build(), {2, 2, 4, 4});
+  ASSERT_EQ(r.status, LaunchStatus::Ok);
+  for (unsigned i = 0; i < 64; ++i) ASSERT_EQ(dev.read_word(out + i), i);
+}
+
+TEST(Device, OutOfBoundsLoadTraps) {
+  Device dev(64);
+  KernelBuilder kb("oob");
+  kb.movi(0, 1 << 20);
+  kb.gld(1, R(0));
+  const auto r = dev.launch(kb.build(), {1, 1, 1, 1});
+  EXPECT_EQ(r.status, LaunchStatus::Trap);
+  EXPECT_NE(r.trap_reason.find("out-of-bounds"), std::string::npos);
+}
+
+TEST(Device, SharedOutOfBoundsTraps) {
+  Device dev(64);
+  KernelBuilder kb("oobs");
+  kb.shared(8);
+  kb.movi(0, 9);
+  kb.sts(R(0), R(0));
+  const auto r = dev.launch(kb.build(), {1, 1, 1, 1});
+  EXPECT_EQ(r.status, LaunchStatus::Trap);
+}
+
+TEST(Device, InvalidPcTraps) {
+  Device dev(64);
+  Program p;
+  Instr bra{.op = Opcode::BRA, .target = 1000};
+  p.code.push_back(bra);
+  p.code.push_back(Instr{.op = Opcode::EXIT});
+  const auto r = dev.launch(p, {1, 1, 1, 1});
+  EXPECT_EQ(r.status, LaunchStatus::Trap);
+  EXPECT_NE(r.trap_reason.find("invalid PC"), std::string::npos);
+}
+
+TEST(Device, InfiniteLoopTimesOut) {
+  Device dev(64);
+  Program p;
+  Instr bra{.op = Opcode::BRA, .target = 0};
+  p.code.push_back(bra);
+  p.code.push_back(Instr{.op = Opcode::EXIT});
+  LaunchConfig cfg;
+  cfg.max_retired = 10000;
+  const auto r = dev.launch(p, {1, 1, 32, 1}, cfg);
+  EXPECT_EQ(r.status, LaunchStatus::Timeout);
+}
+
+TEST(Device, GuardedExitRetiresSubset) {
+  Device dev(256);
+  const auto out = dev.alloc(32);
+  // Threads >= 16 exit early; the rest write.
+  KernelBuilder kb("earlyexit");
+  kb.mov(0, S(SReg::TID_X));
+  kb.isetp(0, CmpOp::GE, R(0), I(16));
+  kb.if_begin(0);
+  kb.exit();
+  kb.if_end();
+  kb.iadd(1, R(0), I(static_cast<std::int32_t>(out)));
+  kb.gst(R(1), I(5));
+  const auto r = dev.launch(kb.build(), {1, 1, 32, 1});
+  ASSERT_EQ(r.status, LaunchStatus::Ok);
+  for (unsigned t = 0; t < 16; ++t) ASSERT_EQ(dev.read_word(out + t), 5u);
+  for (unsigned t = 16; t < 32; ++t) ASSERT_EQ(dev.read_word(out + t), 0u);
+}
+
+TEST(Device, SelAndPredicatedMove) {
+  Device dev(256);
+  const auto out = dev.alloc(32);
+  KernelBuilder kb("sel");
+  kb.mov(0, S(SReg::TID_X));
+  kb.isetp(2, CmpOp::LT, R(0), I(7));
+  kb.sel(1, I(100), I(200), 2);
+  kb.pred(2).iadd(1, R(1), I(1));  // +1 only where P2
+  kb.iadd(3, R(0), I(static_cast<std::int32_t>(out)));
+  kb.gst(R(3), R(1));
+  const auto r = dev.launch(kb.build(), {1, 1, 32, 1});
+  ASSERT_EQ(r.status, LaunchStatus::Ok);
+  for (unsigned t = 0; t < 32; ++t)
+    ASSERT_EQ(dev.read_word(out + t), t < 7 ? 101u : 200u);
+}
+
+// Hook that corrupts the destination of one specific dynamic instruction.
+class FlipHook : public InstrumentHook {
+ public:
+  explicit FlipHook(std::uint64_t target) : target_(target) {}
+  void on_retire(const RetireInfo& info, std::uint32_t& value) override {
+    if (info.dyn_index == target_) {
+      value ^= 1u << 30;
+      ++hits_;
+    }
+  }
+  int hits() const { return hits_; }
+
+ private:
+  std::uint64_t target_;
+  int hits_ = 0;
+};
+
+TEST(Device, HookCanCorruptOneInstruction) {
+  Device dev(256);
+  const auto out = dev.alloc(8);
+  Program p = affine_kernel(out);
+
+  // Golden run.
+  Device golden(256);
+  golden.alloc(8);
+  ASSERT_EQ(golden.launch(p, {1, 1, 8, 1}).status, LaunchStatus::Ok);
+
+  // Target the second IMAD (R4 = 2*tid + 1), retired at dyn 32..39: its
+  // corrupted result is stored directly, so exactly one output element
+  // changes. (Corrupting an earlier MOV of %ctaid would be masked by
+  // 32-bit wraparound in the address IMAD.)
+  FlipHook hook(35);
+  LaunchConfig cfg;
+  cfg.hook = &hook;
+  ASSERT_EQ(dev.launch(p, {1, 1, 8, 1}, cfg).status, LaunchStatus::Ok);
+  EXPECT_EQ(hook.hits(), 1);
+  int mismatches = 0;
+  for (unsigned t = 0; t < 8; ++t)
+    mismatches += dev.read_word(out + t) != golden.read_word(out + t);
+  EXPECT_EQ(mismatches, 1);  // exactly one thread's output corrupted
+}
+
+TEST(Device, RetireCountMatchesProfilerTotal) {
+  Device dev(256);
+  const auto out = dev.alloc(64);
+  Profiler prof;
+  LaunchConfig cfg;
+  cfg.hook = &prof;
+  const auto r = dev.launch(affine_kernel(out), {1, 1, 64, 1}, cfg);
+  ASSERT_EQ(r.status, LaunchStatus::Ok);
+  EXPECT_EQ(prof.total(), r.retired);
+  EXPECT_EQ(prof.count(isa::Opcode::GST), 64u);
+  EXPECT_EQ(prof.count(isa::Opcode::IMAD), 128u);
+}
+
+TEST(Profiler, ClassFractionsSumToOne) {
+  Device dev(256);
+  const auto out = dev.alloc(64);
+  Profiler prof;
+  LaunchConfig cfg;
+  cfg.hook = &prof;
+  ASSERT_EQ(dev.launch(affine_kernel(out), {1, 1, 64, 1}, cfg).status,
+            LaunchStatus::Ok);
+  double sum = 0;
+  for (auto cls :
+       {isa::OpClass::Fp32, isa::OpClass::Int32, isa::OpClass::Special,
+        isa::OpClass::Memory, isa::OpClass::Control, isa::OpClass::Other}) {
+    sum += prof.class_fraction(cls);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Device, DeterministicAcrossRuns) {
+  Program p;
+  {
+    KernelBuilder kb("det");
+    kb.mov(0, S(SReg::TID_X));
+    kb.i2f(1, R(0));
+    kb.fsin(2, R(1));
+    kb.fexp(3, R(2));
+    kb.iadd(4, R(0), I(0));
+    kb.gst(R(4), R(3));
+    p = kb.build();
+  }
+  Device a(256), b(256);
+  ASSERT_EQ(a.launch(p, {1, 1, 32, 1}).status, LaunchStatus::Ok);
+  ASSERT_EQ(b.launch(p, {1, 1, 32, 1}).status, LaunchStatus::Ok);
+  for (unsigned i = 0; i < 32; ++i)
+    ASSERT_EQ(a.read_word(i), b.read_word(i));
+}
+
+}  // namespace
+}  // namespace gpufi::emu

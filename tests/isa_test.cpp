@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "isa/isa.hpp"
+#include "isa/semantics.hpp"
+
+namespace gpufi::isa {
+namespace {
+
+TEST(Opcode, CharacterizedSetMatchesPaper) {
+  // Exactly the 12 instructions of Sec. III.
+  int n = 0;
+  for (std::size_t i = 0; i < kNumOpcodes; ++i)
+    n += is_characterized(static_cast<Opcode>(i));
+  EXPECT_EQ(n, 12);
+  EXPECT_TRUE(is_characterized(Opcode::FFMA));
+  EXPECT_TRUE(is_characterized(Opcode::ISETP));
+  EXPECT_FALSE(is_characterized(Opcode::MOV));
+  EXPECT_FALSE(is_characterized(Opcode::BAR));
+}
+
+TEST(Opcode, Classes) {
+  EXPECT_EQ(op_class(Opcode::FADD), OpClass::Fp32);
+  EXPECT_EQ(op_class(Opcode::IMAD), OpClass::Int32);
+  EXPECT_EQ(op_class(Opcode::FSIN), OpClass::Special);
+  EXPECT_EQ(op_class(Opcode::GLD), OpClass::Memory);
+  EXPECT_EQ(op_class(Opcode::BRA), OpClass::Control);
+  EXPECT_EQ(op_class(Opcode::SHL), OpClass::Other);
+}
+
+TEST(Opcode, EveryOpcodeHasMnemonic) {
+  for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+    EXPECT_NE(mnemonic(static_cast<Opcode>(i)), "???");
+  }
+}
+
+TEST(Operand, Factories) {
+  EXPECT_EQ(R(5).kind, OperandKind::Reg);
+  EXPECT_EQ(R(5).value, 5u);
+  EXPECT_EQ(I(-3).value, static_cast<std::uint32_t>(-3));
+  EXPECT_EQ(F(1.0f).value, std::bit_cast<std::uint32_t>(1.0f));
+  EXPECT_EQ(S(SReg::TID_X).kind, OperandKind::Special);
+}
+
+TEST(Instr, WriteTargets) {
+  Instr add{.op = Opcode::FADD, .dst = 3};
+  EXPECT_TRUE(add.writes_gpr());
+  EXPECT_FALSE(add.writes_pred());
+  Instr setp{.op = Opcode::ISETP};
+  EXPECT_FALSE(setp.writes_gpr());
+  EXPECT_TRUE(setp.writes_pred());
+  Instr st{.op = Opcode::GST};
+  EXPECT_FALSE(st.writes_gpr());
+}
+
+TEST(Instr, Disassembly) {
+  Instr i{.op = Opcode::FFMA, .dst = 4, .a = R(1), .b = R(2), .c = R(4)};
+  EXPECT_EQ(i.to_string(), "FFMA R4, R1, R2, R4");
+  i.pred = 0;
+  i.pred_neg = true;
+  EXPECT_EQ(i.to_string(), "@!P0 FFMA R4, R1, R2, R4");
+}
+
+TEST(Instr, DisassemblyMemoryAndBranch) {
+  Instr ld{.op = Opcode::GLD, .dst = 2, .a = R(1), .imm = 8};
+  EXPECT_EQ(ld.to_string(), "GLD R2, [R1+8]");
+  Instr bra{.op = Opcode::BRA, .target = 12, .reconv = 20};
+  EXPECT_EQ(bra.to_string(), "BRA 12 (reconv 20)");
+}
+
+TEST(Builder, EmitsAndAppendsExit) {
+  KernelBuilder kb("k");
+  kb.movi(0, 1).iadd(1, R(0), I(2));
+  const Program p = kb.build();
+  ASSERT_EQ(p.code.size(), 3u);
+  EXPECT_EQ(p.code[2].op, Opcode::EXIT);
+  EXPECT_EQ(p.name, "k");
+}
+
+TEST(Builder, NoDoubleExit) {
+  KernelBuilder kb("k");
+  kb.nop().exit();
+  const Program p = kb.build();
+  EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(Builder, PredGuardsNextInstructionOnly) {
+  KernelBuilder kb("k");
+  kb.pred(1).iadd(0, R(0), I(1)).iadd(0, R(0), I(1));
+  const Program p = kb.build();
+  EXPECT_EQ(p.code[0].pred, 1);
+  EXPECT_EQ(p.code[1].pred, -1);
+}
+
+TEST(Builder, IfProducesGuardedBranchWithReconv) {
+  KernelBuilder kb("k");
+  kb.isetp(0, CmpOp::LT, R(0), I(10));
+  kb.if_begin(0);
+  kb.movi(1, 7);
+  kb.if_end();
+  const Program p = kb.build();
+  const Instr& bra = p.code[1];
+  ASSERT_EQ(bra.op, Opcode::BRA);
+  EXPECT_EQ(bra.pred, 0);
+  EXPECT_TRUE(bra.pred_neg);          // branch away when condition false
+  EXPECT_EQ(bra.target, 3);           // past the body
+  EXPECT_EQ(bra.reconv, 3);
+}
+
+TEST(Builder, IfElseTargetsAreConsistent) {
+  KernelBuilder kb("k");
+  kb.if_begin(0);
+  kb.movi(1, 1);        // then
+  kb.else_begin();
+  kb.movi(1, 2);        // else
+  kb.if_end();
+  const Program p = kb.build();
+  const Instr& if_bra = p.code[0];
+  const Instr& skip_bra = p.code[2];
+  EXPECT_EQ(if_bra.target, 3);   // start of else
+  EXPECT_EQ(if_bra.reconv, 4);   // end
+  EXPECT_EQ(skip_bra.target, 4);
+  EXPECT_EQ(p.code[3].op, Opcode::MOV);
+}
+
+TEST(Builder, LoopShape) {
+  KernelBuilder kb("k");
+  kb.movi(0, 0);
+  kb.loop_begin();
+  kb.isetp(0, CmpOp::LT, R(0), I(4));
+  kb.loop_while(0);
+  kb.iadd(0, R(0), I(1));
+  kb.loop_end();
+  const Program p = kb.build();
+  // 0: MOV, 1: ISETP, 2: BRA(exit), 3: IADD, 4: BRA(back), 5: EXIT
+  EXPECT_EQ(p.code[2].op, Opcode::BRA);
+  EXPECT_TRUE(p.code[2].pred_neg);
+  EXPECT_EQ(p.code[2].target, 5);
+  EXPECT_EQ(p.code[4].op, Opcode::BRA);
+  EXPECT_EQ(p.code[4].target, 1);
+}
+
+TEST(Builder, ThrowsOnUnbalancedControlFlow) {
+  KernelBuilder kb("k");
+  kb.if_begin(0);
+  EXPECT_THROW(kb.build(), std::logic_error);
+  KernelBuilder kb2("k2");
+  EXPECT_THROW(kb2.if_end(), std::logic_error);
+  KernelBuilder kb3("k3");
+  EXPECT_THROW(kb3.loop_end(), std::logic_error);
+}
+
+TEST(Builder, SharedMemoryDeclaration) {
+  KernelBuilder kb("k");
+  kb.shared(64).nop();
+  EXPECT_EQ(kb.build().shared_words, 64u);
+}
+
+TEST(Semantics, IntegerOps) {
+  EXPECT_EQ(alu_result(Opcode::IADD, 3, 4, 0, false), 7u);
+  EXPECT_EQ(alu_result(Opcode::IMUL, 5, 6, 99, false), 30u);
+  EXPECT_EQ(alu_result(Opcode::IMAD, 5, 6, 7, false), 37u);
+  EXPECT_EQ(alu_result(Opcode::SHL, 1, 4, 0, false), 16u);
+  EXPECT_EQ(alu_result(Opcode::SHR, 0x80000000u, 31, 0, false), 1u);
+  EXPECT_EQ(alu_result(Opcode::IMIN, static_cast<std::uint32_t>(-5), 3, 0,
+                       false),
+            static_cast<std::uint32_t>(-5));
+  EXPECT_EQ(alu_result(Opcode::IMAX, static_cast<std::uint32_t>(-5), 3, 0,
+                       false),
+            3u);
+}
+
+TEST(Semantics, FloatOpsViaFparith) {
+  const auto b = [](float f) { return std::bit_cast<std::uint32_t>(f); };
+  EXPECT_EQ(alu_result(Opcode::FADD, b(1.5f), b(2.25f), 0, false), b(3.75f));
+  EXPECT_EQ(alu_result(Opcode::FMUL, b(3.0f), b(-2.0f), 0, false), b(-6.0f));
+  EXPECT_EQ(alu_result(Opcode::FFMA, b(2.0f), b(3.0f), b(1.0f), false),
+            b(7.0f));
+}
+
+TEST(Semantics, SelUsesPredicate) {
+  EXPECT_EQ(alu_result(Opcode::SEL, 11, 22, 0, true), 11u);
+  EXPECT_EQ(alu_result(Opcode::SEL, 11, 22, 0, false), 22u);
+}
+
+TEST(Semantics, IntCompare) {
+  EXPECT_TRUE(cmp_eval_i(CmpOp::LT, static_cast<std::uint32_t>(-1), 0));
+  EXPECT_FALSE(cmp_eval_i(CmpOp::GT, static_cast<std::uint32_t>(-1), 0));
+  EXPECT_TRUE(cmp_eval_i(CmpOp::EQ, 7, 7));
+  EXPECT_TRUE(cmp_eval_i(CmpOp::GE, 7, 7));
+  EXPECT_TRUE(cmp_eval_i(CmpOp::NE, 7, 8));
+  EXPECT_TRUE(cmp_eval_i(CmpOp::LE, 7, 8));
+}
+
+TEST(Semantics, FloatCompareUnordered) {
+  const auto b = [](float f) { return std::bit_cast<std::uint32_t>(f); };
+  const std::uint32_t nan = 0x7fc00000u;
+  EXPECT_TRUE(cmp_eval_f(CmpOp::LT, b(1.0f), b(2.0f)));
+  EXPECT_FALSE(cmp_eval_f(CmpOp::LT, nan, b(2.0f)));
+  EXPECT_FALSE(cmp_eval_f(CmpOp::EQ, nan, nan));
+  EXPECT_TRUE(cmp_eval_f(CmpOp::NE, nan, b(1.0f)));
+  EXPECT_TRUE(cmp_eval_f(CmpOp::GE, b(2.0f), b(2.0f)));
+}
+
+TEST(Program, DisassemblyListsAllInstructions) {
+  KernelBuilder kb("demo");
+  kb.movi(0, 5).ffma(1, R(0), R(0), R(0));
+  const Program p = kb.build();
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("demo:"), std::string::npos);
+  EXPECT_NE(s.find("FFMA"), std::string::npos);
+  EXPECT_NE(s.find("EXIT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpufi::isa

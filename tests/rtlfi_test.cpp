@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rtlfi/campaign.hpp"
+#include "rtlfi/microbench.hpp"
+
+namespace gpufi::rtlfi {
+namespace {
+
+using isa::Opcode;
+using rtl::Module;
+
+CampaignResult quick(Opcode op, Module m, std::size_t n = 300,
+                     InputRange r = InputRange::Medium) {
+  const auto w = make_microbenchmark(op, r, 1);
+  CampaignConfig cfg;
+  cfg.module = m;
+  cfg.n_faults = n;
+  cfg.seed = 99;
+  return run_campaign(w, cfg);
+}
+
+TEST(Microbench, AllTwelveBuildAndRunGolden) {
+  for (Opcode op : {Opcode::FADD, Opcode::FMUL, Opcode::FFMA, Opcode::IADD,
+                    Opcode::IMUL, Opcode::IMAD, Opcode::FSIN, Opcode::FEXP,
+                    Opcode::GLD, Opcode::GST, Opcode::BRA, Opcode::ISETP}) {
+    for (auto r : {InputRange::Small, InputRange::Medium, InputRange::Large}) {
+      const auto w = make_microbenchmark(op, r, 7);
+      rtl::Sm sm;
+      w.setup(sm);
+      const auto res = sm.run(w.program, w.dims);
+      ASSERT_EQ(res.status, rtl::RunStatus::Ok)
+          << w.name << ": " << res.trap_reason;
+    }
+  }
+}
+
+TEST(Microbench, RejectsNonCharacterizedOpcodes) {
+  EXPECT_THROW(make_microbenchmark(Opcode::MOV, InputRange::Medium, 1),
+               std::invalid_argument);
+}
+
+TEST(Microbench, OutputsAreNonTrivial) {
+  const auto w = make_microbenchmark(Opcode::FFMA, InputRange::Medium, 3);
+  rtl::Sm sm;
+  w.setup(sm);
+  ASSERT_EQ(sm.run(w.program, w.dims).status, rtl::RunStatus::Ok);
+  unsigned nonzero = 0;
+  for (unsigned i = 0; i < w.out_words; ++i)
+    nonzero += sm.read_word(w.out_base + i) != 0;
+  EXPECT_EQ(nonzero, w.out_words);  // every thread stored a real result
+}
+
+TEST(Microbench, RangeClassification) {
+  EXPECT_EQ(classify_float_input(7.0e-6f), InputRange::Small);
+  EXPECT_EQ(classify_float_input(10.0f), InputRange::Medium);
+  EXPECT_EQ(classify_float_input(5.0e9f), InputRange::Large);
+  EXPECT_EQ(classify_float_input(-10.0f), InputRange::Medium);
+  EXPECT_EQ(classify_int_input(3), InputRange::Small);
+  EXPECT_EQ(classify_int_input(500), InputRange::Medium);
+  EXPECT_EQ(classify_int_input(2'000'000'000u), InputRange::Large);
+}
+
+TEST(Campaign, CountsAreConsistent) {
+  const auto r = quick(Opcode::FADD, Module::Fp32Fu, 250);
+  EXPECT_EQ(r.injected, 250u);
+  EXPECT_EQ(r.masked + r.sdc_single + r.sdc_multi + r.due, r.injected);
+  EXPECT_GT(r.golden_cycles, 0u);
+}
+
+TEST(Campaign, DeterministicForSameSeed) {
+  const auto a = quick(Opcode::IADD, Module::IntFu, 200);
+  const auto b = quick(Opcode::IADD, Module::IntFu, 200);
+  EXPECT_EQ(a.sdc_single, b.sdc_single);
+  EXPECT_EQ(a.sdc_multi, b.sdc_multi);
+  EXPECT_EQ(a.due, b.due);
+}
+
+TEST(Campaign, FuFaultsOnlyMatterForMatchingClass) {
+  // The paper does not characterize FUs for memory/control ops: the units
+  // are idle. Our model reproduces that (INT is exercised by addressing,
+  // so only the mismatched-FU cases are exactly zero).
+  EXPECT_EQ(quick(Opcode::IADD, Module::Fp32Fu, 200).avf(), 0.0);
+  EXPECT_EQ(quick(Opcode::FADD, Module::Sfu, 200).avf(), 0.0);
+  EXPECT_EQ(quick(Opcode::GLD, Module::SfuCtl, 200).avf(), 0.0);
+  EXPECT_GT(quick(Opcode::FADD, Module::Fp32Fu, 400).avf(), 0.0);
+}
+
+TEST(Campaign, FuSdcsDominateOverDues) {
+  // Fig. 4: functional-unit corruptions are much more likely to produce
+  // SDCs than DUEs.
+  const auto r = quick(Opcode::FFMA, Module::Fp32Fu, 500);
+  EXPECT_GT(r.avf_sdc(), 2.0 * r.avf_due());
+}
+
+TEST(Campaign, PipelineProducesDues) {
+  const auto r = quick(Opcode::IMAD, Module::PipelineRegs, 500);
+  EXPECT_GT(r.due, 0u);
+  EXPECT_GT(r.sdc_single + r.sdc_multi, 0u);
+}
+
+TEST(Campaign, FuCorruptionsAreSingleThread) {
+  const auto r = quick(Opcode::FMUL, Module::Fp32Fu, 600);
+  ASSERT_GT(r.sdc_single + r.sdc_multi, 0u);
+  EXPECT_LT(r.multi_fraction(), 0.15);
+  EXPECT_NEAR(r.mean_corrupted_threads(), 1.0, 0.5);
+}
+
+TEST(Campaign, SchedulerCorruptionsHitMultipleThreads) {
+  CampaignResult merged;
+  for (auto op : {Opcode::FADD, Opcode::IADD})
+    merged.merge(quick(op, Module::Scheduler, 600));
+  ASSERT_GT(merged.sdc_single + merged.sdc_multi, 0u);
+  EXPECT_GT(merged.multi_fraction(), 0.2);
+  EXPECT_GT(merged.mean_corrupted_threads(), 2.0);
+}
+
+TEST(Campaign, DetailedRecordsDescribeSdcs) {
+  const auto r = quick(Opcode::FADD, Module::Fp32Fu, 500);
+  ASSERT_FALSE(r.records.empty());
+  for (const auto& rec : r.records) {
+    EXPECT_EQ(rec.outcome, Outcome::Sdc);
+    EXPECT_GT(rec.corrupted_elements, 0u);
+    EXPECT_FALSE(rec.field.empty());
+    ASSERT_FALSE(rec.diffs.empty());
+    for (const auto& d : rec.diffs) {
+      EXPECT_NE(d.golden, d.faulty);
+      EXPECT_GT(d.bits_flipped, 0u);
+    }
+  }
+}
+
+TEST(Campaign, MarginOfErrorShrinksWithSamples) {
+  const auto small = quick(Opcode::FADD, Module::Fp32Fu, 100);
+  const auto large = quick(Opcode::FADD, Module::Fp32Fu, 800);
+  EXPECT_GT(small.margin_of_error(), large.margin_of_error());
+}
+
+TEST(Campaign, MergeAccumulates) {
+  auto a = quick(Opcode::FADD, Module::Fp32Fu, 150);
+  const auto b = quick(Opcode::FADD, Module::Fp32Fu, 150);
+  const auto sdc = a.sdc_single + b.sdc_single;
+  a.merge(b);
+  EXPECT_EQ(a.injected, 300u);
+  EXPECT_EQ(a.sdc_single, sdc);
+}
+
+TEST(Tmxm, GoldenMatchesHostMatmul) {
+  for (auto kind : {TileKind::Max, TileKind::Zero, TileKind::Random}) {
+    const auto w = make_tmxm(kind, 3);
+    rtl::Sm sm;
+    w.setup(sm);
+    // Snapshot inputs before the run.
+    float a[64], b[64];
+    for (unsigned i = 0; i < 64; ++i) {
+      a[i] = sm.read_float(i);
+      b[i] = sm.read_float(64 + i);
+    }
+    ASSERT_EQ(sm.run(w.program, w.dims).status, rtl::RunStatus::Ok);
+    for (unsigned r = 0; r < 8; ++r)
+      for (unsigned c = 0; c < 8; ++c) {
+        float acc = 0;
+        for (unsigned k = 0; k < 8; ++k)
+          acc = std::fmaf(a[r * 8 + k], b[k * 8 + c], acc);
+        ASSERT_FLOAT_EQ(sm.read_float(w.out_base + r * 8 + c), acc);
+      }
+  }
+}
+
+TEST(Tmxm, SchedulerFaultsProduceMultiElementSdcs) {
+  const auto w = make_tmxm(TileKind::Random, 1);
+  CampaignConfig cfg;
+  cfg.module = rtl::Module::Scheduler;
+  cfg.n_faults = 900;
+  cfg.seed = 5;
+  const auto r = run_campaign(w, cfg);
+  ASSERT_GT(r.sdc_single + r.sdc_multi, 0u);
+  // Fig. 7: a large share of scheduler SDCs corrupt multiple elements.
+  EXPECT_GT(r.multi_fraction(), 0.3);
+}
+
+TEST(Tmxm, ZeroTileMasksMoreThanRandomTile) {
+  // Sec. V-D: downstream multiplications by zero mask pipeline data faults;
+  // the Z tile shows a lower SDC AVF than the R tile.
+  CampaignConfig cfg;
+  cfg.module = rtl::Module::PipelineRegs;
+  cfg.n_faults = 1200;
+  cfg.seed = 6;
+  const auto z = run_campaign(make_tmxm(TileKind::Zero, 2), cfg);
+  const auto r = run_campaign(make_tmxm(TileKind::Random, 2), cfg);
+  EXPECT_LT(z.avf_sdc(), r.avf_sdc());
+}
+
+}  // namespace
+}  // namespace gpufi::rtlfi

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "core/gpufi.hpp"
+#include "rtlfi/campaign.hpp"
+#include "rtlfi/microbench.hpp"
+#include "syndrome/syndrome.hpp"
+
+namespace gpufi::syndrome {
+namespace {
+
+using isa::Opcode;
+using rtl::Module;
+using rtlfi::InputRange;
+
+// ---------------------------------------------------------------- Dist
+
+TEST(Dist, IgnoresInvalidSamples) {
+  Dist d;
+  d.add(0.0);
+  d.add(-1.0);
+  d.add(std::numeric_limits<double>::infinity());
+  d.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(d.count(), 0u);
+  d.add(0.5);
+  EXPECT_EQ(d.count(), 1u);
+}
+
+TEST(Dist, MedianAndHistogram) {
+  Dist d;
+  for (double x : {0.1, 0.2, 0.3, 0.4, 0.5}) d.add(x);
+  EXPECT_NEAR(d.median(), 0.3, 1e-12);
+  EXPECT_EQ(d.histogram().count(), 5u);
+}
+
+TEST(Dist, FitsPowerLawAndSamplesViaEquationOne) {
+  Rng rng(1);
+  PowerLaw truth{2.3, 1e-3, 0, 0};
+  Dist d;
+  for (int i = 0; i < 5000; ++i) d.add(truth.sample(rng));
+  ASSERT_TRUE(d.fit());
+  EXPECT_NEAR(d.power_law()->alpha, 2.3, 0.25);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_GE(d.sample(rng), d.power_law()->x_min);
+}
+
+TEST(Dist, FallsBackToEmpiricalWithoutFit) {
+  Rng rng(2);
+  Dist d;
+  for (int i = 0; i < 4; ++i) d.add(0.25);
+  EXPECT_FALSE(d.fit());  // too few samples
+  const double s = d.sample(rng);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(Dist, SyndromesAreNotGaussian) {
+  // The paper: Shapiro-Wilk rejects normality for every syndrome
+  // distribution (p < 0.05).
+  Rng rng(3);
+  PowerLaw pl{2.0, 1e-4, 0, 0};
+  Dist d;
+  for (int i = 0; i < 1000; ++i) d.add(pl.sample(rng));
+  EXPECT_LT(d.shapiro_p(), 0.05);
+}
+
+// ------------------------------------------------------- pattern classify
+
+std::vector<std::uint32_t> idx(std::initializer_list<std::uint32_t> l) {
+  return {l};
+}
+
+TEST(Pattern, Classification8x8) {
+  EXPECT_EQ(classify_pattern(idx({5}), 8, 8), Pattern::Single);
+  EXPECT_EQ(classify_pattern(idx({8, 9, 10, 11, 12, 13, 14, 15}), 8, 8),
+            Pattern::Row);
+  EXPECT_EQ(classify_pattern(idx({8, 10, 13}), 8, 8), Pattern::Row);
+  EXPECT_EQ(classify_pattern(idx({2, 10, 18, 26}), 8, 8), Pattern::Col);
+  EXPECT_EQ(classify_pattern(idx({16, 17, 18, 19, 20, 21, 22, 23, 3, 11, 27,
+                                  35, 43, 51, 59}),
+                             8, 8),
+            Pattern::RowCol);
+  EXPECT_EQ(classify_pattern(idx({9, 10, 17, 18, 25, 26}), 8, 8),
+            Pattern::Block);
+  EXPECT_EQ(classify_pattern(idx({0, 9, 27, 45, 63, 12, 33}), 8, 8),
+            Pattern::Random);
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t i = 0; i < 64; ++i) all.push_back(i);
+  EXPECT_EQ(classify_pattern(all, 8, 8), Pattern::All);
+  all.pop_back();  // 63 of 64 still counts as "all (or almost all)"
+  EXPECT_EQ(classify_pattern(all, 8, 8), Pattern::All);
+}
+
+TEST(Pattern, NamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kNumPatterns; ++i)
+    names.insert(pattern_name(static_cast<Pattern>(i)));
+  EXPECT_EQ(names.size(), kNumPatterns);
+}
+
+// ------------------------------------------------------------- database
+
+Database tiny_db() {
+  Database db;
+  // FADD/M characterization from a real (small) RTL campaign.
+  const auto w = rtlfi::make_microbenchmark(Opcode::FADD, InputRange::Medium,
+                                            1);
+  rtlfi::CampaignConfig cfg;
+  cfg.module = Module::Fp32Fu;
+  cfg.n_faults = 600;
+  cfg.seed = 4;
+  db.add_campaign(Key{Module::Fp32Fu, Opcode::FADD, InputRange::Medium},
+                  rtlfi::run_campaign(w, cfg));
+  // t-MxM pattern stats.
+  const auto tw = rtlfi::make_tmxm(rtlfi::TileKind::Random, 1);
+  rtlfi::CampaignConfig tcfg;
+  tcfg.module = Module::Scheduler;
+  tcfg.n_faults = 700;
+  tcfg.seed = 5;
+  db.add_tmxm_campaign(Module::Scheduler, 8, 8,
+                       rtlfi::run_campaign(tw, tcfg));
+  tcfg.module = Module::PipelineRegs;
+  db.add_tmxm_campaign(Module::PipelineRegs, 8, 8,
+                       rtlfi::run_campaign(tw, tcfg));
+  db.finalize();
+  return db;
+}
+
+TEST(Database, IngestsCampaignsAndSamples) {
+  Database db = tiny_db();
+  const Dist* d =
+      db.find(Key{Module::Fp32Fu, Opcode::FADD, InputRange::Medium});
+  ASSERT_NE(d, nullptr);
+  EXPECT_GT(d->count(), 0u);
+  Rng rng(6);
+  const auto s =
+      db.sample_relative_error(Opcode::FADD, InputRange::Medium, rng);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_GT(*s, 0.0);
+  EXPECT_FALSE(
+      db.sample_relative_error(Opcode::IMUL, InputRange::Medium, rng));
+}
+
+TEST(Database, TileCorruptionSampling) {
+  Database db = tiny_db();
+  Rng rng(7);
+  bool saw_multi = false;
+  for (int i = 0; i < 50; ++i) {
+    const auto tc = db.sample_tile_corruption(8, 8, rng);
+    ASSERT_FALSE(tc.elements.empty());
+    for (const auto& e : tc.elements) {
+      EXPECT_LT(e.row, 8u);
+      EXPECT_LT(e.col, 8u);
+      EXPECT_GT(e.rel_error, 0.0);
+    }
+    saw_multi |= tc.elements.size() > 1;
+  }
+  EXPECT_TRUE(saw_multi);
+}
+
+TEST(Database, UntrainedTileCorruptionFallsBack) {
+  Database db;
+  Rng rng(8);
+  const auto tc = db.sample_tile_corruption(8, 8, rng);
+  EXPECT_EQ(tc.elements.size(), 1u);
+}
+
+TEST(Database, SerializationRoundTrip) {
+  Database db = tiny_db();
+  std::stringstream ss;
+  db.save(ss);
+  Database loaded = Database::load(ss);
+  const Key key{Module::Fp32Fu, Opcode::FADD, InputRange::Medium};
+  ASSERT_NE(loaded.find(key), nullptr);
+  EXPECT_EQ(loaded.find(key)->count(), db.find(key)->count());
+  EXPECT_NEAR(loaded.find(key)->median(), db.find(key)->median(), 1e-9);
+  EXPECT_EQ(loaded.tmxm(Module::Scheduler).total(),
+            db.tmxm(Module::Scheduler).total());
+}
+
+TEST(Database, LoadRejectsGarbage) {
+  std::stringstream ss("not-a-db 7");
+  EXPECT_THROW(Database::load(ss), std::runtime_error);
+}
+
+TEST(Database, TmxmStatsSeparateSites) {
+  Database db = tiny_db();
+  EXPECT_GT(db.tmxm(Module::Scheduler).total(), 0u);
+  // multi_fraction over all multi patterns sums to 1.
+  const auto& s = db.tmxm(Module::Scheduler);
+  double sum = 0;
+  for (std::size_t p = 1; p < kNumPatterns; ++p)
+    sum += s.multi_fraction(static_cast<Pattern>(p));
+  std::size_t multi = 0;
+  for (std::size_t p = 1; p < kNumPatterns; ++p) multi += s.counts[p];
+  if (multi > 0) {
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace gpufi::syndrome
