@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pipeline_split.dir/ablation_pipeline_split.cpp.o"
+  "CMakeFiles/ablation_pipeline_split.dir/ablation_pipeline_split.cpp.o.d"
+  "ablation_pipeline_split"
+  "ablation_pipeline_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipeline_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

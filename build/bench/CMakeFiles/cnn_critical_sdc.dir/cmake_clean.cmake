@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_critical_sdc.dir/cnn_critical_sdc.cpp.o"
+  "CMakeFiles/cnn_critical_sdc.dir/cnn_critical_sdc.cpp.o.d"
+  "cnn_critical_sdc"
+  "cnn_critical_sdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_critical_sdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

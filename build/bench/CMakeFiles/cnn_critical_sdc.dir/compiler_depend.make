@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cnn_critical_sdc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_instruction_profile.dir/fig03_instruction_profile.cpp.o"
+  "CMakeFiles/fig03_instruction_profile.dir/fig03_instruction_profile.cpp.o.d"
+  "fig03_instruction_profile"
+  "fig03_instruction_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_instruction_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_avf_microbench.dir/fig04_avf_microbench.cpp.o"
+  "CMakeFiles/fig04_avf_microbench.dir/fig04_avf_microbench.cpp.o.d"
+  "fig04_avf_microbench"
+  "fig04_avf_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_avf_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

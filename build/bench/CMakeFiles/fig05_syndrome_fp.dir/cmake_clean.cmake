@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_syndrome_fp.dir/fig05_syndrome_fp.cpp.o"
+  "CMakeFiles/fig05_syndrome_fp.dir/fig05_syndrome_fp.cpp.o.d"
+  "fig05_syndrome_fp"
+  "fig05_syndrome_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_syndrome_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_syndrome_int.dir/fig06_syndrome_int.cpp.o"
+  "CMakeFiles/fig06_syndrome_int.dir/fig06_syndrome_int.cpp.o.d"
+  "fig06_syndrome_int"
+  "fig06_syndrome_int.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_syndrome_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

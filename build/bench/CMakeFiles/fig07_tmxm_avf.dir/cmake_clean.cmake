@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_tmxm_avf.dir/fig07_tmxm_avf.cpp.o"
+  "CMakeFiles/fig07_tmxm_avf.dir/fig07_tmxm_avf.cpp.o.d"
+  "fig07_tmxm_avf"
+  "fig07_tmxm_avf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_tmxm_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

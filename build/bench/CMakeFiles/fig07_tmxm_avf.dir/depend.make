@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_tmxm_avf.
+# This may be replaced when dependencies are built.

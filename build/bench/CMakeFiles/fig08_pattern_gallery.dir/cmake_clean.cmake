@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pattern_gallery.dir/fig08_pattern_gallery.cpp.o"
+  "CMakeFiles/fig08_pattern_gallery.dir/fig08_pattern_gallery.cpp.o.d"
+  "fig08_pattern_gallery"
+  "fig08_pattern_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pattern_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

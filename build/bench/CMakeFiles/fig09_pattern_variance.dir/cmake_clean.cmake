@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_pattern_variance.dir/fig09_pattern_variance.cpp.o"
+  "CMakeFiles/fig09_pattern_variance.dir/fig09_pattern_variance.cpp.o.d"
+  "fig09_pattern_variance"
+  "fig09_pattern_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pattern_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_table3_pvf.dir/fig10_table3_pvf.cpp.o"
+  "CMakeFiles/fig10_table3_pvf.dir/fig10_table3_pvf.cpp.o.d"
+  "fig10_table3_pvf"
+  "fig10_table3_pvf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_table3_pvf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

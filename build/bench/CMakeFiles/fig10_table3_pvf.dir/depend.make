@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_table3_pvf.
+# This may be replaced when dependencies are built.

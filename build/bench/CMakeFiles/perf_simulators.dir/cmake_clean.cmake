@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_simulators.dir/perf_simulators.cpp.o"
+  "CMakeFiles/perf_simulators.dir/perf_simulators.cpp.o.d"
+  "perf_simulators"
+  "perf_simulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_simulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_module_sizes.dir/table1_module_sizes.cpp.o"
+  "CMakeFiles/table1_module_sizes.dir/table1_module_sizes.cpp.o.d"
+  "table1_module_sizes"
+  "table1_module_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_module_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_tmxm_patterns.dir/table2_tmxm_patterns.cpp.o"
+  "CMakeFiles/table2_tmxm_patterns.dir/table2_tmxm_patterns.cpp.o.d"
+  "table2_tmxm_patterns"
+  "table2_tmxm_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_tmxm_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_reliability.dir/cnn_reliability.cpp.o"
+  "CMakeFiles/cnn_reliability.dir/cnn_reliability.cpp.o.d"
+  "cnn_reliability"
+  "cnn_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

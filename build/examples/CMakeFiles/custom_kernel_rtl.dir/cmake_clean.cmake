@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_kernel_rtl.dir/custom_kernel_rtl.cpp.o"
+  "CMakeFiles/custom_kernel_rtl.dir/custom_kernel_rtl.cpp.o.d"
+  "custom_kernel_rtl"
+  "custom_kernel_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_kernel_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

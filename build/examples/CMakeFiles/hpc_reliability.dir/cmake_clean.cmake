@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_reliability.dir/hpc_reliability.cpp.o"
+  "CMakeFiles/hpc_reliability.dir/hpc_reliability.cpp.o.d"
+  "hpc_reliability"
+  "hpc_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

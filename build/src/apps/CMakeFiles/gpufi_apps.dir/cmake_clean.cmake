@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_apps.dir/apps.cpp.o"
+  "CMakeFiles/gpufi_apps.dir/apps.cpp.o.d"
+  "libgpufi_apps.a"
+  "libgpufi_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

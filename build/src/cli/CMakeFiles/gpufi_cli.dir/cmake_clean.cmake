@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_cli.dir/main.cpp.o"
+  "CMakeFiles/gpufi_cli.dir/main.cpp.o.d"
+  "gpufi"
+  "gpufi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_common.dir/bitvector.cpp.o"
+  "CMakeFiles/gpufi_common.dir/bitvector.cpp.o.d"
+  "CMakeFiles/gpufi_common.dir/histogram.cpp.o"
+  "CMakeFiles/gpufi_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/gpufi_common.dir/powerlaw.cpp.o"
+  "CMakeFiles/gpufi_common.dir/powerlaw.cpp.o.d"
+  "CMakeFiles/gpufi_common.dir/statistics.cpp.o"
+  "CMakeFiles/gpufi_common.dir/statistics.cpp.o.d"
+  "CMakeFiles/gpufi_common.dir/table.cpp.o"
+  "CMakeFiles/gpufi_common.dir/table.cpp.o.d"
+  "libgpufi_common.a"
+  "libgpufi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_core.dir/gpufi.cpp.o"
+  "CMakeFiles/gpufi_core.dir/gpufi.cpp.o.d"
+  "libgpufi_core.a"
+  "libgpufi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

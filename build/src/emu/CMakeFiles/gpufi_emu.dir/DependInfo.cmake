@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emu/device.cpp" "src/emu/CMakeFiles/gpufi_emu.dir/device.cpp.o" "gcc" "src/emu/CMakeFiles/gpufi_emu.dir/device.cpp.o.d"
+  "/root/repo/src/emu/profiler.cpp" "src/emu/CMakeFiles/gpufi_emu.dir/profiler.cpp.o" "gcc" "src/emu/CMakeFiles/gpufi_emu.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/gpufi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpufi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fparith/CMakeFiles/gpufi_fparith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

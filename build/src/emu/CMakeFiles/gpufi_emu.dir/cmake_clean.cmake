@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_emu.dir/device.cpp.o"
+  "CMakeFiles/gpufi_emu.dir/device.cpp.o.d"
+  "CMakeFiles/gpufi_emu.dir/profiler.cpp.o"
+  "CMakeFiles/gpufi_emu.dir/profiler.cpp.o.d"
+  "libgpufi_emu.a"
+  "libgpufi_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

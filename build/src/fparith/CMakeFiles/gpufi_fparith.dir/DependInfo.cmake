@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fparith/fp32.cpp" "src/fparith/CMakeFiles/gpufi_fparith.dir/fp32.cpp.o" "gcc" "src/fparith/CMakeFiles/gpufi_fparith.dir/fp32.cpp.o.d"
+  "/root/repo/src/fparith/sfu.cpp" "src/fparith/CMakeFiles/gpufi_fparith.dir/sfu.cpp.o" "gcc" "src/fparith/CMakeFiles/gpufi_fparith.dir/sfu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpufi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_fparith.dir/fp32.cpp.o"
+  "CMakeFiles/gpufi_fparith.dir/fp32.cpp.o.d"
+  "CMakeFiles/gpufi_fparith.dir/sfu.cpp.o"
+  "CMakeFiles/gpufi_fparith.dir/sfu.cpp.o.d"
+  "libgpufi_fparith.a"
+  "libgpufi_fparith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_fparith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gpufi_fparith.
+# This may be replaced when dependencies are built.

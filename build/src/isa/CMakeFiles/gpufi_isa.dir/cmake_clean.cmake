@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_isa.dir/isa.cpp.o"
+  "CMakeFiles/gpufi_isa.dir/isa.cpp.o.d"
+  "CMakeFiles/gpufi_isa.dir/semantics.cpp.o"
+  "CMakeFiles/gpufi_isa.dir/semantics.cpp.o.d"
+  "libgpufi_isa.a"
+  "libgpufi_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

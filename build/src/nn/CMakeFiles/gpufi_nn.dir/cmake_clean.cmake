@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_nn.dir/gpu_infer.cpp.o"
+  "CMakeFiles/gpufi_nn.dir/gpu_infer.cpp.o.d"
+  "CMakeFiles/gpufi_nn.dir/network.cpp.o"
+  "CMakeFiles/gpufi_nn.dir/network.cpp.o.d"
+  "libgpufi_nn.a"
+  "libgpufi_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

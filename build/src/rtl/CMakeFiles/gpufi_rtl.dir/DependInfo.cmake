@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/layouts.cpp" "src/rtl/CMakeFiles/gpufi_rtl.dir/layouts.cpp.o" "gcc" "src/rtl/CMakeFiles/gpufi_rtl.dir/layouts.cpp.o.d"
+  "/root/repo/src/rtl/sm.cpp" "src/rtl/CMakeFiles/gpufi_rtl.dir/sm.cpp.o" "gcc" "src/rtl/CMakeFiles/gpufi_rtl.dir/sm.cpp.o.d"
+  "/root/repo/src/rtl/state.cpp" "src/rtl/CMakeFiles/gpufi_rtl.dir/state.cpp.o" "gcc" "src/rtl/CMakeFiles/gpufi_rtl.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/gpufi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/fparith/CMakeFiles/gpufi_fparith.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpufi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_rtl.dir/layouts.cpp.o"
+  "CMakeFiles/gpufi_rtl.dir/layouts.cpp.o.d"
+  "CMakeFiles/gpufi_rtl.dir/sm.cpp.o"
+  "CMakeFiles/gpufi_rtl.dir/sm.cpp.o.d"
+  "CMakeFiles/gpufi_rtl.dir/state.cpp.o"
+  "CMakeFiles/gpufi_rtl.dir/state.cpp.o.d"
+  "libgpufi_rtl.a"
+  "libgpufi_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_rtlfi.dir/campaign.cpp.o"
+  "CMakeFiles/gpufi_rtlfi.dir/campaign.cpp.o.d"
+  "CMakeFiles/gpufi_rtlfi.dir/microbench.cpp.o"
+  "CMakeFiles/gpufi_rtlfi.dir/microbench.cpp.o.d"
+  "libgpufi_rtlfi.a"
+  "libgpufi_rtlfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_rtlfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_swfi.dir/swfi.cpp.o"
+  "CMakeFiles/gpufi_swfi.dir/swfi.cpp.o.d"
+  "libgpufi_swfi.a"
+  "libgpufi_swfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_swfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_syndrome.dir/syndrome.cpp.o"
+  "CMakeFiles/gpufi_syndrome.dir/syndrome.cpp.o.d"
+  "libgpufi_syndrome.a"
+  "libgpufi_syndrome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_syndrome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_matrix_test.dir/campaign_matrix_test.cpp.o"
+  "CMakeFiles/campaign_matrix_test.dir/campaign_matrix_test.cpp.o.d"
+  "campaign_matrix_test"
+  "campaign_matrix_test.pdb"
+  "campaign_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

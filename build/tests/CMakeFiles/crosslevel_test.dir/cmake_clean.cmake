@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosslevel_test.dir/crosslevel_test.cpp.o"
+  "CMakeFiles/crosslevel_test.dir/crosslevel_test.cpp.o.d"
+  "crosslevel_test"
+  "crosslevel_test.pdb"
+  "crosslevel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosslevel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

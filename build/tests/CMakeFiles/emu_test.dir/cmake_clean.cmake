@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emu_test.dir/emu_test.cpp.o"
+  "CMakeFiles/emu_test.dir/emu_test.cpp.o.d"
+  "emu_test"
+  "emu_test.pdb"
+  "emu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fparith_test.dir/fparith_test.cpp.o"
+  "CMakeFiles/fparith_test.dir/fparith_test.cpp.o.d"
+  "fparith_test"
+  "fparith_test.pdb"
+  "fparith_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fparith_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

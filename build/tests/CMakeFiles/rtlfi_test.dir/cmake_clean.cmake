@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtlfi_test.dir/rtlfi_test.cpp.o"
+  "CMakeFiles/rtlfi_test.dir/rtlfi_test.cpp.o.d"
+  "rtlfi_test"
+  "rtlfi_test.pdb"
+  "rtlfi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtlfi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swfi_test.dir/swfi_test.cpp.o"
+  "CMakeFiles/swfi_test.dir/swfi_test.cpp.o.d"
+  "swfi_test"
+  "swfi_test.pdb"
+  "swfi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swfi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndrome_test.dir/syndrome_test.cpp.o"
+  "CMakeFiles/syndrome_test.dir/syndrome_test.cpp.o.d"
+  "syndrome_test"
+  "syndrome_test.pdb"
+  "syndrome_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndrome_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

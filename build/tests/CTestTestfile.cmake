@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/fparith_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/emu_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_test[1]_include.cmake")
+include("/root/repo/build/tests/rtlfi_test[1]_include.cmake")
+include("/root/repo/build/tests/syndrome_test[1]_include.cmake")
+include("/root/repo/build/tests/swfi_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/crosslevel_test[1]_include.cmake")
+include("/root/repo/build/tests/campaign_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
