@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/thread_pool.hpp"
 #include "core/gpufi.hpp"
 
 namespace gpufi::bench {
@@ -39,6 +40,11 @@ inline core::Models shared_models() {
   std::printf("[bench] models: %s\n", data_dir().c_str());
   return core::ensure_models(data_dir());
 }
+
+/// Campaign parallelism used by the benches: the configs' jobs = 0 default
+/// already resolves to GPUFI_JOBS / all hardware threads; this helper is for
+/// printing the effective width (results are identical for every value).
+inline unsigned jobs() { return ThreadPool::default_jobs(); }
 
 /// Software-injection count per application/model.
 inline std::size_t sw_injections() { return full_scale() ? 6000 : 250; }

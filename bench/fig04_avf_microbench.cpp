@@ -2,6 +2,7 @@
 // the scheduler, and the pipeline registers for each of the 12 SASS
 // instructions — SDCs split into single/multiple-thread, plus DUEs. Values
 // are averaged over the S/M/L input ranges as in the paper.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -37,6 +38,8 @@ int main() {
                "multi-frac", "mean-thr", "+-95%"});
   std::uint64_t seed = 11;
   double max_range_spread = 0.0;
+  std::size_t total_injected = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
   for (auto op : ops) {
     std::vector<std::pair<const char*, rtl::Module>> modules;
     if (auto fu = fu_of(op)) modules.push_back({"FU", *fu});
@@ -60,6 +63,7 @@ int main() {
         merged.merge(res);
       }
       max_range_spread = std::max(max_range_spread, avf_max - avf_min);
+      total_injected += merged.injected;
       t.add_row({std::string(isa::mnemonic(op)), label,
                  TextTable::pct(static_cast<double>(merged.sdc_single) /
                                 merged.injected),
@@ -71,7 +75,15 @@ int main() {
                  TextTable::pct(merged.margin_of_error())});
     }
   }
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
   std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "wall-clock %.1fs for %zu injections on %u jobs (%.0f injections/s; "
+      "results are jobs-independent)\n",
+      wall, total_injected, bench::jobs(),
+      wall > 0 ? static_cast<double>(total_injected) / wall : 0.0);
   std::printf(
       "max AVF spread across S/M/L input ranges: %.1f%% (paper: < 5%%)\n"
       "Paper shapes to check: FP32-FU AVF below INT-FU AVF (3x larger\n"

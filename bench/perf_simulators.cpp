@@ -4,10 +4,15 @@
 // costs milliseconds — the two-level framework turns years into hours.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "apps/apps.hpp"
+#include "common/thread_pool.hpp"
 #include "emu/device.hpp"
 #include "fparith/fp32.hpp"
 #include "fparith/sfu.hpp"
+#include "rtlfi/campaign.hpp"
 #include "rtlfi/microbench.hpp"
 #include "rtl/sm.hpp"
 
@@ -78,4 +83,74 @@ static void BM_OneSoftwareInjectionRun(benchmark::State& state) {
 }
 BENCHMARK(BM_OneSoftwareInjectionRun)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+/// Whole-campaign throughput at a given --jobs width (arg 0 = auto: the
+/// GPUFI_JOBS env or all hardware threads).
+static void BM_RtlCampaignInjections(benchmark::State& state) {
+  const auto w = rtlfi::make_microbenchmark(isa::Opcode::FADD,
+                                            rtlfi::InputRange::Medium, 1);
+  rtlfi::CampaignConfig cfg;
+  cfg.module = rtl::Module::Fp32Fu;
+  cfg.n_faults = 400;
+  cfg.seed = 7;
+  cfg.jobs = static_cast<unsigned>(state.range(0));
+  std::size_t injected = 0;
+  for (auto _ : state) {
+    const auto r = rtlfi::run_campaign(w, cfg);
+    injected += r.injected;
+    benchmark::DoNotOptimize(r.masked);
+  }
+  state.counters["inj/s"] = benchmark::Counter(
+      static_cast<double>(injected), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RtlCampaignInjections)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+namespace {
+
+/// The parallel-engine acceptance check: times the same RTL campaign serial
+/// and at the default --jobs width, verifies the counters are identical, and
+/// emits one machine-readable JSON line for CI trend tracking.
+void report_campaign_scaling() {
+  const auto w = rtlfi::make_microbenchmark(isa::Opcode::FADD,
+                                            rtlfi::InputRange::Medium, 1);
+  rtlfi::CampaignConfig cfg;
+  cfg.module = rtl::Module::Fp32Fu;
+  cfg.n_faults = 800;
+  cfg.seed = 7;
+  const auto timed = [&](unsigned jobs) {
+    cfg.jobs = jobs;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = rtlfi::run_campaign(w, cfg);
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    return std::pair{r, s > 0 ? static_cast<double>(r.injected) / s : 0.0};
+  };
+  const auto [serial, serial_rate] = timed(1);
+  const unsigned jobs = ThreadPool::default_jobs();
+  const auto [parallel, parallel_rate] = timed(jobs);
+  const bool identical = serial.masked == parallel.masked &&
+                         serial.sdc_single == parallel.sdc_single &&
+                         serial.sdc_multi == parallel.sdc_multi &&
+                         serial.due == parallel.due;
+  std::printf(
+      "{\"bench\":\"rtl_campaign_scaling\",\"faults\":%zu,\"jobs\":%u,"
+      "\"inj_per_sec_serial\":%.1f,\"inj_per_sec_jobs\":%.1f,"
+      "\"speedup\":%.2f,\"deterministic\":%s}\n",
+      cfg.n_faults, jobs, serial_rate, parallel_rate,
+      serial_rate > 0 ? parallel_rate / serial_rate : 0.0,
+      identical ? "true" : "false");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report_campaign_scaling();
+  return 0;
+}

@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/gpufi_common.dir/DependInfo.cmake"
   "/root/repo/build/src/swfi/CMakeFiles/gpufi_swfi.dir/DependInfo.cmake"
   "/root/repo/build/src/syndrome/CMakeFiles/gpufi_syndrome.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gpufi_exec.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

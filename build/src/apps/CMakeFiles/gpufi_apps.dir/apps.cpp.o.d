@@ -211,17 +211,19 @@ src/apps/CMakeFiles/gpufi_apps.dir/apps.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/isa/isa.hpp \
+ /root/repo/src/exec/engine.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/cstddef /root/repo/src/common/thread_pool.hpp \
  /root/repo/src/syndrome/syndrome.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
- /root/repo/src/common/histogram.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/common/powerlaw.hpp /usr/include/c++/12/span \
- /root/repo/src/rtl/state.hpp /root/repo/src/common/bitvector.hpp \
- /root/repo/src/rtlfi/campaign.hpp /root/repo/src/rtl/sm.hpp \
- /root/repo/src/rtl/layouts.hpp /root/repo/src/rtlfi/microbench.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
+ /root/repo/src/common/histogram.hpp /root/repo/src/common/powerlaw.hpp \
+ /usr/include/c++/12/span /root/repo/src/rtl/state.hpp \
+ /root/repo/src/common/bitvector.hpp /root/repo/src/rtlfi/campaign.hpp \
+ /root/repo/src/rtl/sm.hpp /root/repo/src/rtl/layouts.hpp \
+ /root/repo/src/rtlfi/microbench.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

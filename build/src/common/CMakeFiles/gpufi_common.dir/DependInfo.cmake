@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/powerlaw.cpp" "src/common/CMakeFiles/gpufi_common.dir/powerlaw.cpp.o" "gcc" "src/common/CMakeFiles/gpufi_common.dir/powerlaw.cpp.o.d"
   "/root/repo/src/common/statistics.cpp" "src/common/CMakeFiles/gpufi_common.dir/statistics.cpp.o" "gcc" "src/common/CMakeFiles/gpufi_common.dir/statistics.cpp.o.d"
   "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/gpufi_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/gpufi_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/gpufi_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/gpufi_common.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/gpufi_common.dir/statistics.cpp.o.d"
   "CMakeFiles/gpufi_common.dir/table.cpp.o"
   "CMakeFiles/gpufi_common.dir/table.cpp.o.d"
+  "CMakeFiles/gpufi_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/gpufi_common.dir/thread_pool.cpp.o.d"
   "libgpufi_common.a"
   "libgpufi_common.pdb"
 )

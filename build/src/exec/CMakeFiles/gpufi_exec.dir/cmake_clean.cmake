@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi_exec.dir/engine.cpp.o"
+  "CMakeFiles/gpufi_exec.dir/engine.cpp.o.d"
+  "libgpufi_exec.a"
+  "libgpufi_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

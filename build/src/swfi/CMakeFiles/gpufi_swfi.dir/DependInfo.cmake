@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/emu/CMakeFiles/gpufi_emu.dir/DependInfo.cmake"
   "/root/repo/build/src/syndrome/CMakeFiles/gpufi_syndrome.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gpufi_exec.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/gpufi_common.dir/DependInfo.cmake"
   "/root/repo/build/src/rtlfi/CMakeFiles/gpufi_rtlfi.dir/DependInfo.cmake"
   "/root/repo/build/src/rtl/CMakeFiles/gpufi_rtl.dir/DependInfo.cmake"

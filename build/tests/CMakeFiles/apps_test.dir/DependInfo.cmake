@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/rtlfi/CMakeFiles/gpufi_rtlfi.dir/DependInfo.cmake"
   "/root/repo/build/src/rtl/CMakeFiles/gpufi_rtl.dir/DependInfo.cmake"
   "/root/repo/build/src/isa/CMakeFiles/gpufi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gpufi_exec.dir/DependInfo.cmake"
   "/root/repo/build/src/fparith/CMakeFiles/gpufi_fparith.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/gpufi_common.dir/DependInfo.cmake"
   )

@@ -294,8 +294,13 @@ tests/CMakeFiles/campaign_matrix_test.dir/campaign_matrix_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/rtlfi/campaign.hpp /root/repo/src/common/rng.hpp \
- /root/repo/src/isa/isa.hpp /root/repo/src/rtl/sm.hpp \
- /root/repo/src/rtl/layouts.hpp /root/repo/src/rtl/state.hpp \
- /root/repo/src/common/bitvector.hpp /root/repo/src/rtlfi/microbench.hpp \
- /root/repo/src/syndrome/syndrome.hpp /root/repo/src/common/histogram.hpp \
- /root/repo/src/common/powerlaw.hpp /usr/include/c++/12/span
+ /root/repo/src/exec/engine.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/common/thread_pool.hpp /root/repo/src/isa/isa.hpp \
+ /root/repo/src/rtl/sm.hpp /root/repo/src/rtl/layouts.hpp \
+ /root/repo/src/rtl/state.hpp /root/repo/src/common/bitvector.hpp \
+ /root/repo/src/rtlfi/microbench.hpp /root/repo/src/syndrome/syndrome.hpp \
+ /root/repo/src/common/histogram.hpp /root/repo/src/common/powerlaw.hpp \
+ /usr/include/c++/12/span

@@ -297,8 +297,12 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
- /root/repo/src/core/gpufi.hpp /root/repo/src/nn/network.hpp \
- /root/repo/src/common/rng.hpp /root/repo/src/nn/tensor.hpp \
+ /root/repo/src/core/gpufi.hpp /root/repo/src/exec/engine.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/common/rng.hpp /root/repo/src/common/thread_pool.hpp \
+ /root/repo/src/nn/network.hpp /root/repo/src/nn/tensor.hpp \
  /root/repo/src/syndrome/syndrome.hpp /root/repo/src/common/histogram.hpp \
  /root/repo/src/common/powerlaw.hpp /usr/include/c++/12/span \
  /root/repo/src/isa/isa.hpp /root/repo/src/rtl/state.hpp \

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec_test.cpp" "tests/CMakeFiles/exec_test.dir/exec_test.cpp.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/gpufi_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpufi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/swfi/CMakeFiles/gpufi_swfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/gpufi_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtlfi/CMakeFiles/gpufi_rtlfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/syndrome/CMakeFiles/gpufi_syndrome.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gpufi_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/gpufi_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/gpufi_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gpufi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/fparith/CMakeFiles/gpufi_fparith.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpufi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -321,5 +321,9 @@ tests/CMakeFiles/nn_test.dir/nn_test.cpp.o: /root/repo/tests/nn_test.cpp \
  /root/repo/src/common/histogram.hpp /root/repo/src/common/powerlaw.hpp \
  /usr/include/c++/12/span /root/repo/src/rtl/state.hpp \
  /root/repo/src/common/bitvector.hpp /root/repo/src/rtlfi/campaign.hpp \
- /root/repo/src/rtl/sm.hpp /root/repo/src/rtl/layouts.hpp \
- /root/repo/src/rtlfi/microbench.hpp
+ /root/repo/src/exec/engine.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/common/thread_pool.hpp /root/repo/src/rtl/sm.hpp \
+ /root/repo/src/rtl/layouts.hpp /root/repo/src/rtlfi/microbench.hpp

@@ -316,6 +316,11 @@ tests/CMakeFiles/rtlfi_test.dir/rtlfi_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/rtlfi/campaign.hpp /root/repo/src/common/rng.hpp \
- /root/repo/src/isa/isa.hpp /root/repo/src/rtl/sm.hpp \
- /root/repo/src/rtl/layouts.hpp /root/repo/src/rtl/state.hpp \
- /root/repo/src/common/bitvector.hpp /root/repo/src/rtlfi/microbench.hpp
+ /root/repo/src/exec/engine.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/common/thread_pool.hpp /root/repo/src/isa/isa.hpp \
+ /root/repo/src/rtl/sm.hpp /root/repo/src/rtl/layouts.hpp \
+ /root/repo/src/rtl/state.hpp /root/repo/src/common/bitvector.hpp \
+ /root/repo/src/rtlfi/microbench.hpp

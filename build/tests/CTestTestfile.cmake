@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
 include("/root/repo/build/tests/fparith_test[1]_include.cmake")
 include("/root/repo/build/tests/isa_test[1]_include.cmake")
 include("/root/repo/build/tests/emu_test[1]_include.cmake")

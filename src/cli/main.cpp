@@ -7,7 +7,9 @@
 //   gpufi sw <app> <model> [options]      software campaign on an HPC app
 //   gpufi cnn <net> <model> [options]     CNN campaign with criticality split
 //
-// Common options: --faults N / --injections N, --seed S, --db PATH.
+// Common options: --faults N / --injections N, --seed S, --db PATH,
+// --jobs N (0 = GPUFI_JOBS env or all hardware threads; results are
+// byte-identical whatever the value).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,7 +39,11 @@ int usage() {
       "  gpufi sw <mxm|gaussian|lud|hotspot|lava|quicksort> "
       "<bitflip|doublebit|syndrome> [--injections N] [--db PATH]\n"
       "  gpufi cnn <lenet|yolo> <bitflip|syndrome|tmxm> [--injections N] "
-      "[--db PATH] [--models DIR]\n");
+      "[--db PATH] [--models DIR]\n"
+      "\n"
+      "every command accepts --jobs N: worker threads for the campaign loop\n"
+      "(default: GPUFI_JOBS env, else all hardware threads). Results are\n"
+      "byte-identical for every --jobs value.\n");
   return 2;
 }
 
@@ -68,6 +74,7 @@ struct Options {
   std::string models_dir = "gpufi_data";
   std::string range = "M";
   std::string tile = "random";
+  unsigned jobs = 0;  ///< 0 = GPUFI_JOBS env or hardware concurrency
 
   static Options parse(int argc, char** argv, int first) {
     Options o;
@@ -82,11 +89,24 @@ struct Options {
       else if (key == "--models") o.models_dir = val;
       else if (key == "--range") o.range = val;
       else if (key == "--tile") o.tile = val;
+      else if (key == "--jobs")
+        o.jobs = static_cast<unsigned>(std::strtoul(val.c_str(), nullptr, 10));
       else std::fprintf(stderr, "warning: unknown option %s\n", key.c_str());
     }
     return o;
   }
 };
+
+/// Telemetry printer for long campaigns: carriage-return progress on stderr
+/// so piped stdout stays machine-readable.
+exec::ProgressFn stderr_progress(const char* unit) {
+  return [unit](const exec::Progress& p) {
+    std::fprintf(stderr, "\r  %zu/%zu %s (%.1f/s, ETA %.0fs)   ", p.done,
+                 p.total, unit, p.per_second, p.eta_seconds);
+    if (p.done == p.total) std::fputc('\n', stderr);
+    std::fflush(stderr);
+  };
+}
 
 void print_campaign(const rtlfi::CampaignResult& r) {
   std::printf("injected       %zu (golden run: %llu cycles)\n", r.injected,
@@ -128,6 +148,8 @@ int cmd_rtl(int argc, char** argv) {
   cfg.module = *module;
   cfg.n_faults = o.faults;
   cfg.seed = o.seed;
+  cfg.jobs = o.jobs;
+  cfg.progress = stderr_progress("injections");
   std::printf("== RTL campaign: %s on %s (%s inputs), %zu faults\n",
               std::string(isa::mnemonic(*op)).c_str(),
               std::string(rtl::module_name(*module)).c_str(),
@@ -148,6 +170,8 @@ int cmd_tmxm(int argc, char** argv) {
   cfg.module = *site;
   cfg.n_faults = o.faults;
   cfg.seed = o.seed;
+  cfg.jobs = o.jobs;
+  cfg.progress = stderr_progress("injections");
   std::printf("== t-MxM campaign: %s site, %s tile, %zu faults\n",
               std::string(rtl::module_name(*site)).c_str(),
               std::string(rtlfi::tile_name(kind)).c_str(), o.faults);
@@ -172,6 +196,8 @@ int cmd_build_db(int argc, char** argv) {
   const Options o = Options::parse(argc, argv, 3);
   core::RtlCharacterizationConfig cfg;
   cfg.faults_per_campaign = o.faults;
+  cfg.jobs = o.jobs;
+  cfg.progress = stderr_progress("campaigns");
   std::printf("building syndrome database (%zu faults/campaign)...\n",
               cfg.faults_per_campaign);
   const auto db = core::build_syndrome_database(cfg);
@@ -196,13 +222,18 @@ int cmd_sw(int argc, char** argv) {
   swfi::Config cfg;
   cfg.n_injections = o.injections;
   cfg.seed = o.seed;
+  cfg.jobs = o.jobs;
+  cfg.progress = stderr_progress("injections");
   std::optional<syndrome::Database> db;
   if (model_name == "bitflip") cfg.model = swfi::FaultModel::SingleBitFlip;
   else if (model_name == "doublebit")
     cfg.model = swfi::FaultModel::DoubleBitFlip;
   else if (model_name == "syndrome") {
     cfg.model = swfi::FaultModel::RelativeError;
-    db = core::ensure_syndrome_database(o.db_path);
+    core::RtlCharacterizationConfig dbcfg;
+    dbcfg.jobs = o.jobs;
+    dbcfg.progress = stderr_progress("campaigns");
+    db = core::ensure_syndrome_database(o.db_path, dbcfg);
     cfg.db = &*db;
   } else {
     return usage();
@@ -224,7 +255,10 @@ int cmd_cnn(int argc, char** argv) {
   const std::string net_name = argv[2];
   const std::string model_name = argv[3];
   const Options o = Options::parse(argc, argv, 4);
-  const auto db = core::ensure_syndrome_database(o.db_path);
+  core::RtlCharacterizationConfig dbcfg;
+  dbcfg.jobs = o.jobs;
+  dbcfg.progress = stderr_progress("campaigns");
+  const auto db = core::ensure_syndrome_database(o.db_path, dbcfg);
   const auto models = core::ensure_models(o.models_dir);
   const bool lenet = net_name == "lenet";
   if (!lenet && net_name != "yolo") return usage();

@@ -5,6 +5,30 @@
 
 namespace gpufi {
 
+/// One splitmix64 mixing step: bijective, avalanching finalizer over 64 bits
+/// (the xoshiro authors' recommended seeding primitive).
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Derives the seed of a statistically independent stream from a base seed
+/// and one or more stream indices. Replaces ad-hoc `seed * constant + offset`
+/// arithmetic: every call site names its stream explicitly, and streams that
+/// differ in any index (or in index order) are decorrelated by a full
+/// splitmix64 finalizer per word.
+///
+///   Rng per_trial(rng_derive(campaign_seed, trial_index));
+///   Rng inputs(rng_derive(value_seed, kStreamInputs));
+template <class... Stream>
+constexpr std::uint64_t rng_derive(std::uint64_t seed, Stream... stream) {
+  std::uint64_t x = splitmix64(seed);
+  ((x = splitmix64(x ^ static_cast<std::uint64_t>(stream))), ...);
+  return x;
+}
+
 /// Deterministic, fast pseudo-random number generator (xoshiro256**).
 ///
 /// Every stochastic component in the library (fault-list generation, syndrome

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace gpufi {
+
+/// Fixed-size worker pool executing index-addressed task batches.
+///
+/// Deliberately work-stealing-free: a batch of `n` tasks is claimed by
+/// atomically incrementing a shared cursor, so each task index runs exactly
+/// once on exactly one worker. Which worker runs which index is
+/// non-deterministic, which is why callers that need reproducible results
+/// must make every task self-contained (own RNG stream, own result shard)
+/// and combine shards by task index — see exec::run_trials.
+class ThreadPool {
+ public:
+  /// Starts `jobs` workers (including the calling thread at run() time);
+  /// jobs == 0 resolves to default_jobs(). jobs == 1 runs everything inline.
+  explicit ThreadPool(unsigned jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of concurrent workers (>= 1).
+  unsigned size() const;
+
+  /// Runs task(i) for every i in [0, n) across the pool and blocks until all
+  /// have finished. The calling thread participates. Exceptions thrown by
+  /// tasks are captured; the first one is rethrown here after the batch
+  /// drains. Not reentrant: run() must not be called from inside a task.
+  void run(std::size_t n, const std::function<void(std::size_t)>& task);
+
+  /// The `--jobs` default: GPUFI_JOBS when set to a positive integer, the
+  /// hardware concurrency otherwise (1 when even that is unknown).
+  static unsigned default_jobs();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace gpufi

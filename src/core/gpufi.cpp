@@ -42,39 +42,85 @@ constexpr isa::Opcode kCharacterized[12] = {
     isa::Opcode::GST,  isa::Opcode::BRA,  isa::Opcode::ISETP,
 };
 
+/// One entry of the flattened characterization grid. The grid is enumerated
+/// up front so campaigns can run on any worker in any order while seeds and
+/// database ingestion stay a pure function of the campaign index.
+struct CampaignDesc {
+  bool tmxm = false;
+  isa::Opcode op = isa::Opcode::NOP;
+  InputRange range = InputRange::Small;
+  rtl::Module module = rtl::Module::Scheduler;
+  TileKind kind = TileKind::Max;
+};
+
+std::vector<CampaignDesc> characterization_grid() {
+  std::vector<CampaignDesc> grid;
+  for (isa::Opcode op : kCharacterized)
+    for (unsigned r = 0; r < rtlfi::kNumRanges; ++r)
+      for (rtl::Module module : modules_for(op)) {
+        CampaignDesc d;
+        d.op = op;
+        d.range = static_cast<InputRange>(r);
+        d.module = module;
+        grid.push_back(d);
+      }
+  for (rtl::Module site : {rtl::Module::Scheduler, rtl::Module::PipelineRegs})
+    for (TileKind kind : {TileKind::Max, TileKind::Zero, TileKind::Random}) {
+      CampaignDesc d;
+      d.tmxm = true;
+      d.module = site;
+      d.kind = kind;
+      grid.push_back(d);
+    }
+  return grid;
+}
+
 }  // namespace
 
 syndrome::Database build_syndrome_database(
     const RtlCharacterizationConfig& cfg) {
-  syndrome::Database db;
-  std::uint64_t seed = cfg.seed;
-  for (isa::Opcode op : kCharacterized) {
-    for (unsigned r = 0; r < rtlfi::kNumRanges; ++r) {
-      const auto range = static_cast<InputRange>(r);
-      for (rtl::Module module : modules_for(op)) {
-        rtlfi::CampaignResult merged;
-        for (std::size_t v = 0; v < cfg.value_seeds; ++v) {
-          const auto w = rtlfi::make_microbenchmark(op, range, 100 * r + v);
-          rtlfi::CampaignConfig cc;
-          cc.module = module;
-          cc.n_faults = cfg.faults_per_campaign / cfg.value_seeds;
-          cc.seed = ++seed;
-          merged.merge(rtlfi::run_campaign(w, cc));
-        }
-        db.add_campaign(syndrome::Key{module, op, range}, merged);
-      }
-    }
-  }
-  for (rtl::Module site :
-       {rtl::Module::Scheduler, rtl::Module::PipelineRegs}) {
-    for (TileKind kind : {TileKind::Max, TileKind::Zero, TileKind::Random}) {
-      const auto w = rtlfi::make_tmxm(kind, static_cast<unsigned>(kind) + 1);
+  const std::vector<CampaignDesc> grid = characterization_grid();
+
+  // Characterize in parallel across the grid (the inner trial loops run
+  // serial: one campaign is small, the grid is the wide axis). Each
+  // campaign's seed is derived from its grid index, never from a running
+  // counter, so completion order cannot change any result.
+  std::vector<rtlfi::CampaignResult> results(grid.size());
+  exec::run_indexed(grid.size(), cfg.jobs, cfg.progress, [&](std::size_t i) {
+    const CampaignDesc& d = grid[i];
+    if (d.tmxm) {
+      const auto w = rtlfi::make_tmxm(d.kind, static_cast<unsigned>(d.kind) + 1);
       rtlfi::CampaignConfig cc;
-      cc.module = site;
+      cc.module = d.module;
       cc.n_faults = cfg.tmxm_faults;
-      cc.seed = ++seed;
-      db.add_tmxm_campaign(site, 8, 8, rtlfi::run_campaign(w, cc));
+      cc.seed = rng_derive(cfg.seed, i, 0);
+      cc.jobs = 1;
+      results[i] = rtlfi::run_campaign(w, cc);
+      return;
     }
+    const auto r = static_cast<unsigned>(d.range);
+    rtlfi::CampaignResult merged;
+    for (std::size_t v = 0; v < cfg.value_seeds; ++v) {
+      const auto w = rtlfi::make_microbenchmark(d.op, d.range, 100 * r + v);
+      rtlfi::CampaignConfig cc;
+      cc.module = d.module;
+      cc.n_faults = cfg.faults_per_campaign / cfg.value_seeds;
+      cc.seed = rng_derive(cfg.seed, i, v + 1);
+      cc.jobs = 1;
+      merged.merge(rtlfi::run_campaign(w, cc));
+    }
+    results[i] = std::move(merged);
+  });
+
+  // Ingest in grid order: the database contents (and serialized bytes) are
+  // independent of how the campaigns were scheduled.
+  syndrome::Database db;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const CampaignDesc& d = grid[i];
+    if (d.tmxm)
+      db.add_tmxm_campaign(d.module, 8, 8, results[i]);
+    else
+      db.add_campaign(syndrome::Key{d.module, d.op, d.range}, results[i]);
   }
   db.finalize();
   return db;

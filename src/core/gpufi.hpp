@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "exec/engine.hpp"
 #include "nn/network.hpp"
 #include "syndrome/syndrome.hpp"
 
@@ -16,6 +17,12 @@ struct RtlCharacterizationConfig {
   std::size_t value_seeds = 2;     ///< input values averaged per range
   std::size_t tmxm_faults = 2500;  ///< per (site, tile kind)
   std::uint64_t seed = 2021;
+  /// Parallelism across the characterization campaigns (0 resolves to
+  /// ThreadPool::default_jobs()). Every campaign's seed is derived from
+  /// (seed, campaign index), so the database is identical for every value.
+  unsigned jobs = 0;
+  /// Optional telemetry (campaigns finished, campaigns/sec, ETA).
+  exec::ProgressFn progress;
 
   /// The paper's published campaign scale (Sec. V-B).
   static RtlCharacterizationConfig paper_scale() {

@@ -1,0 +1,79 @@
+#include "exec/engine.hpp"
+
+#include <chrono>
+#include <mutex>
+
+namespace gpufi::exec {
+
+std::size_t chunk_size(std::size_t n_trials) {
+  // Roughly 64 chunks per campaign so any realistic worker count load-balances
+  // well, floored at 16 trials so per-chunk context setup (e.g. constructing
+  // an rtl::Sm) amortizes. Must stay a pure function of the trial count: the
+  // jobs knob must never influence which trials share a context.
+  const std::size_t target = (n_trials + 63) / 64;
+  return std::clamp<std::size_t>(target, 16, 256);
+}
+
+namespace detail {
+
+struct ProgressMeter::State {
+  std::mutex mutex;
+  std::size_t total = 0;
+  std::size_t done = 0;
+  std::size_t next_report = 0;
+  std::size_t step = 1;
+  std::chrono::steady_clock::time_point start;
+  ProgressFn fn;
+};
+
+ProgressMeter::ProgressMeter(std::size_t total, const ProgressFn& fn)
+    : state_(nullptr) {
+  if (!fn || total == 0) return;
+  state_ = new State;
+  state_->total = total;
+  // ~50 reports per batch keeps terminal progress readable at any scale.
+  state_->step = std::max<std::size_t>(1, total / 50);
+  state_->next_report = state_->step;
+  state_->start = std::chrono::steady_clock::now();
+  state_->fn = fn;
+}
+
+ProgressMeter::~ProgressMeter() { delete state_; }
+
+void ProgressMeter::add(std::size_t n) {
+  if (!state_ || n == 0) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->done += n;
+  if (state_->done < state_->next_report && state_->done < state_->total)
+    return;
+  while (state_->next_report <= state_->done)
+    state_->next_report += state_->step;
+  Progress p;
+  p.done = state_->done;
+  p.total = state_->total;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    state_->start)
+          .count();
+  if (elapsed > 0) {
+    p.per_second = static_cast<double>(p.done) / elapsed;
+    if (p.per_second > 0)
+      p.eta_seconds = static_cast<double>(p.total - p.done) / p.per_second;
+  }
+  state_->fn(p);
+}
+
+}  // namespace detail
+
+void run_indexed(std::size_t n, unsigned jobs, const ProgressFn& progress,
+                 const std::function<void(std::size_t)>& task) {
+  if (n == 0) return;
+  detail::ProgressMeter meter(n, progress);
+  ThreadPool pool(jobs);
+  pool.run(n, [&](std::size_t i) {
+    task(i);
+    meter.add(1);
+  });
+}
+
+}  // namespace gpufi::exec

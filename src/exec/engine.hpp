@@ -1,0 +1,110 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace gpufi::exec {
+
+/// Snapshot handed to the progress callback while a trial batch runs.
+struct Progress {
+  std::size_t done = 0;      ///< trials finished so far
+  std::size_t total = 0;     ///< trials in the batch
+  double per_second = 0.0;   ///< completed trials (= injections) per second
+  double eta_seconds = 0.0;  ///< remaining / per_second (0 while warming up)
+};
+
+/// Invoked from worker threads, serialized and throttled by the engine; safe
+/// to print from. The final call always reports done == total.
+using ProgressFn = std::function<void(const Progress&)>;
+
+/// Parameters shared by every campaign-shaped computation: how many
+/// independent trials, the campaign seed, and how wide to run.
+struct EngineConfig {
+  std::size_t n_trials = 0;
+  std::uint64_t seed = 1;
+  /// Worker threads; 0 resolves to ThreadPool::default_jobs() (the GPUFI_JOBS
+  /// environment variable, else the hardware concurrency).
+  unsigned jobs = 0;
+  ProgressFn progress;  ///< optional
+};
+
+/// Trials are executed in contiguous index chunks; the chunk size is a
+/// function of the trial count ONLY (never of `jobs`), so per-chunk worker
+/// context (e.g. a reused rtl::Sm) sees the same trial sequence whatever the
+/// parallelism — a prerequisite for the bit-identical-across-jobs guarantee.
+std::size_t chunk_size(std::size_t n_trials);
+
+namespace detail {
+
+/// Thread-safe throttled progress reporting (count- and rate-based).
+class ProgressMeter {
+ public:
+  ProgressMeter(std::size_t total, const ProgressFn& fn);
+  ~ProgressMeter();
+  /// Records `n` finished trials, possibly firing the callback.
+  void add(std::size_t n);
+
+ private:
+  struct State;
+  State* state_;
+};
+
+}  // namespace detail
+
+/// The common shape of every fault-injection campaign in this codebase
+/// ("golden run, then N independent trials, classify each, merge"): runs
+/// `cfg.n_trials` trials and returns the merged Result.
+///
+/// Determinism contract — the returned Result is byte-identical for every
+/// `jobs` value, because:
+///  * trial `i` draws all randomness from `Rng(rng_derive(cfg.seed, i))`,
+///    never from a shared stream;
+///  * `make_context()` builds one worker context per chunk (chunking depends
+///    only on n_trials), so context reuse is schedule-independent;
+///  * every trial writes only to its chunk's Result shard, and shards are
+///    merged in chunk-index order — i.e. records end up in trial order.
+///
+/// Result: default-constructible, with `merge(const Result&)` accumulating
+/// counters commutatively and appending records in call order.
+/// MakeContext: Context() — per-chunk worker state (simulator instance, ...).
+/// Trial: void(Context&, std::size_t trial_index, Rng&, Result& shard).
+template <class Result, class MakeContext, class Trial>
+Result run_trials(const EngineConfig& cfg, MakeContext&& make_context,
+                  Trial&& trial) {
+  Result merged{};
+  const std::size_t n = cfg.n_trials;
+  if (n == 0) return merged;
+  const std::size_t chunk = chunk_size(n);
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+  std::vector<Result> shards(n_chunks);
+  detail::ProgressMeter meter(n, cfg.progress);
+  ThreadPool pool(cfg.jobs);
+  pool.run(n_chunks, [&](std::size_t c) {
+    auto context = make_context();
+    Result& shard = shards[c];
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) {
+      Rng rng(rng_derive(cfg.seed, i));
+      trial(context, i, rng, shard);
+    }
+    meter.add(hi - lo);
+  });
+  for (auto& shard : shards) merged.merge(shard);
+  return merged;
+}
+
+/// Index-addressed fan-out for heterogeneous work (e.g. one task per RTL
+/// characterization campaign): runs task(i) for i in [0, n) on `jobs`
+/// workers and reports progress per finished task. Results should be written
+/// to pre-sized slots so completion order cannot leak into the output.
+void run_indexed(std::size_t n, unsigned jobs, const ProgressFn& progress,
+                 const std::function<void(std::size_t)>& task);
+
+}  // namespace gpufi::exec

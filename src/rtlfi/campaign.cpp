@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "common/statistics.hpp"
@@ -85,89 +86,116 @@ std::vector<std::uint32_t> read_out(const rtl::Sm& sm, std::uint32_t base,
 
 }  // namespace
 
+namespace {
+
+/// One fault-injection trial: draws the (bit, cycle) location from this
+/// trial's private Rng, replays the workload with the fault armed, and
+/// accumulates the classification into `shard`.
+void run_one_fault(rtl::Sm& sm, const Workload& w, const CampaignConfig& cfg,
+                   const rtl::StateLayout& layout,
+                   const std::vector<std::uint32_t>& golden_out,
+                   std::uint64_t golden_cycles, std::uint64_t watchdog,
+                   Rng& rng, CampaignResult& shard) {
+  rtl::FaultSpec fault;
+  fault.module = cfg.module;
+  fault.bit = static_cast<std::uint32_t>(rng.below(layout.bits()));
+  fault.cycle = rng.below(golden_cycles);
+
+  w.setup(sm);
+  const auto run = sm.run_with_fault(w.program, w.dims, fault, watchdog);
+  const auto faulty_out = read_out(sm, w.out_base, w.out_words);
+  const Outcome outcome = classify(run.status, golden_out, faulty_out);
+
+  ++shard.injected;
+  switch (outcome) {
+    case Outcome::Masked:
+      ++shard.masked;
+      break;
+    case Outcome::Due:
+      ++shard.due;
+      break;
+    case Outcome::Sdc:
+      break;  // counted below once multiplicity is known
+  }
+
+  if (outcome == Outcome::Masked) return;
+
+  InjectionRecord rec;
+  rec.fault = fault;
+  const auto& finfo = layout.field_at(fault.bit);
+  rec.field = finfo.name;
+  rec.role = finfo.role;
+  rec.outcome = outcome;
+  if (outcome == Outcome::Due) {
+    rec.due_reason = run.trap_reason;
+    if (cfg.keep_all_records) shard.records.push_back(std::move(rec));
+    return;
+  }
+  std::vector<bool> thread_hit(w.thread_modulo ? w.thread_modulo
+                                               : w.out_words);
+  for (std::uint32_t e = 0; e < w.out_words; ++e) {
+    if (faulty_out[e] == golden_out[e]) continue;
+    ++rec.corrupted_elements;
+    const std::uint32_t owner =
+        w.thread_modulo ? e % w.thread_modulo : e;
+    if (!thread_hit[owner]) {
+      thread_hit[owner] = true;
+      ++rec.corrupted_threads;
+    }
+    if (rec.diffs.size() < kMaxDiffsKept) {
+      ElementDiff d;
+      d.index = e;
+      d.golden = golden_out[e];
+      d.faulty = faulty_out[e];
+      d.rel_error = relative_error(golden_out[e], faulty_out[e],
+                                   w.out_is_float);
+      d.bits_flipped = static_cast<unsigned>(
+          std::popcount(golden_out[e] ^ faulty_out[e]));
+      rec.diffs.push_back(d);
+    }
+  }
+  if (rec.corrupted_threads > 1)
+    ++shard.sdc_multi;
+  else
+    ++shard.sdc_single;
+  shard.records.push_back(std::move(rec));
+}
+
+}  // namespace
+
 CampaignResult run_campaign(const Workload& w, const CampaignConfig& cfg) {
-  CampaignResult result;
   const auto& layout = rtl::layouts().of(cfg.module);
   if (layout.bits() == 0) throw std::logic_error("empty module layout");
 
   // Golden run: reference output and fault-window size.
-  rtl::Sm sm;
-  w.setup(sm);
-  const auto golden_run = sm.run(w.program, w.dims);
-  if (golden_run.status != rtl::RunStatus::Ok)
-    throw std::runtime_error("golden RTL run failed (" +
-                             golden_run.trap_reason + ") for " + w.name);
-  result.golden_cycles = golden_run.cycles;
-  const auto golden_out = read_out(sm, w.out_base, w.out_words);
-  const std::uint64_t watchdog =
-      golden_run.cycles * cfg.watchdog_factor + cfg.watchdog_slack;
-
-  Rng rng(cfg.seed);
-  for (std::size_t i = 0; i < cfg.n_faults; ++i) {
-    rtl::FaultSpec fault;
-    fault.module = cfg.module;
-    fault.bit = static_cast<std::uint32_t>(rng.below(layout.bits()));
-    fault.cycle = rng.below(golden_run.cycles);
-
+  std::uint64_t golden_cycles = 0;
+  std::vector<std::uint32_t> golden_out;
+  {
+    rtl::Sm sm;
     w.setup(sm);
-    const auto run = sm.run_with_fault(w.program, w.dims, fault, watchdog);
-    const auto faulty_out = read_out(sm, w.out_base, w.out_words);
-    const Outcome outcome = classify(run.status, golden_out, faulty_out);
-
-    ++result.injected;
-    switch (outcome) {
-      case Outcome::Masked:
-        ++result.masked;
-        break;
-      case Outcome::Due:
-        ++result.due;
-        break;
-      case Outcome::Sdc:
-        break;  // counted below once multiplicity is known
-    }
-
-    if (outcome == Outcome::Masked) continue;
-
-    InjectionRecord rec;
-    rec.fault = fault;
-    const auto& finfo = layout.field_at(fault.bit);
-    rec.field = finfo.name;
-    rec.role = finfo.role;
-    rec.outcome = outcome;
-    if (outcome == Outcome::Due) {
-      rec.due_reason = run.trap_reason;
-      if (cfg.keep_all_records) result.records.push_back(std::move(rec));
-      continue;
-    }
-    std::vector<bool> thread_hit(w.thread_modulo ? w.thread_modulo
-                                                 : w.out_words);
-    for (std::uint32_t e = 0; e < w.out_words; ++e) {
-      if (faulty_out[e] == golden_out[e]) continue;
-      ++rec.corrupted_elements;
-      const std::uint32_t owner =
-          w.thread_modulo ? e % w.thread_modulo : e;
-      if (!thread_hit[owner]) {
-        thread_hit[owner] = true;
-        ++rec.corrupted_threads;
-      }
-      if (rec.diffs.size() < kMaxDiffsKept) {
-        ElementDiff d;
-        d.index = e;
-        d.golden = golden_out[e];
-        d.faulty = faulty_out[e];
-        d.rel_error = relative_error(golden_out[e], faulty_out[e],
-                                     w.out_is_float);
-        d.bits_flipped = static_cast<unsigned>(
-            std::popcount(golden_out[e] ^ faulty_out[e]));
-        rec.diffs.push_back(d);
-      }
-    }
-    if (rec.corrupted_threads > 1)
-      ++result.sdc_multi;
-    else
-      ++result.sdc_single;
-    result.records.push_back(std::move(rec));
+    const auto golden_run = sm.run(w.program, w.dims);
+    if (golden_run.status != rtl::RunStatus::Ok)
+      throw std::runtime_error("golden RTL run failed (" +
+                               golden_run.trap_reason + ") for " + w.name);
+    golden_cycles = golden_run.cycles;
+    golden_out = read_out(sm, w.out_base, w.out_words);
   }
+  const std::uint64_t watchdog =
+      golden_cycles * cfg.watchdog_factor + cfg.watchdog_slack;
+
+  exec::EngineConfig ec;
+  ec.n_trials = cfg.n_faults;
+  ec.seed = cfg.seed;
+  ec.jobs = cfg.jobs;
+  ec.progress = cfg.progress;
+  CampaignResult result = exec::run_trials<CampaignResult>(
+      ec, [] { return std::make_unique<rtl::Sm>(); },
+      [&](std::unique_ptr<rtl::Sm>& sm, std::size_t, Rng& rng,
+          CampaignResult& shard) {
+        run_one_fault(*sm, w, cfg, layout, golden_out, golden_cycles,
+                      watchdog, rng, shard);
+      });
+  result.golden_cycles = golden_cycles;
   return result;
 }
 

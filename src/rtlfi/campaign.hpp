@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "exec/engine.hpp"
 #include "isa/isa.hpp"
 #include "rtl/sm.hpp"
 
@@ -75,6 +76,13 @@ struct CampaignConfig {
   std::uint64_t watchdog_slack = 4096;
   /// Keep detailed records for DUEs and multi-thread SDCs too.
   bool keep_all_records = false;
+  /// Trial-loop parallelism: 0 resolves to ThreadPool::default_jobs()
+  /// (GPUFI_JOBS or the hardware concurrency), 1 runs serial. The result is
+  /// byte-identical for every value — trial i draws from
+  /// Rng(rng_derive(seed, i)) and records are merged in trial order.
+  unsigned jobs = 0;
+  /// Optional telemetry callback (injections done, injections/sec, ETA).
+  exec::ProgressFn progress;
 };
 
 /// General report of one campaign (the per-module/per-instruction AVF data

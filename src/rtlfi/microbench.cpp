@@ -62,6 +62,14 @@ float draw_sfu(Rng& rng) {
   return static_cast<float>(rng.uniform(0.0, 1.5707963267948966));
 }
 
+// Named rng_derive stream tags: the microbenchmark and t-MxM input
+// generators must stay decorrelated from each other and from the campaign
+// fault streams even when handed the same value seed.
+enum StreamTag : std::uint64_t {
+  kStreamMicrobenchInputs = 1,
+  kStreamTmxmInputs = 2,
+};
+
 constexpr unsigned kThreads = 64;  // 2 warps, as in the paper
 // Memory map (word addresses).
 constexpr std::uint32_t kInA = 0;
@@ -177,7 +185,7 @@ Workload make_microbenchmark(Opcode op, InputRange range,
   w.setup = [range, value_seed, is_sfu, int_inputs,
              memory_values_float](rtl::Sm& sm) {
     (void)memory_values_float;
-    Rng rng(value_seed * 0x9e3779b1ull + 17);
+    Rng rng(rng_derive(value_seed, kStreamMicrobenchInputs));
     for (unsigned t = 0; t < kThreads; ++t) {
       if (is_sfu) {
         sm.write_float(kInA + t, draw_sfu(rng));
@@ -247,7 +255,7 @@ Workload make_tmxm(TileKind kind, std::uint64_t value_seed) {
   w.thread_modulo = kTile * kTile;
 
   w.setup = [kind, value_seed](rtl::Sm& sm) {
-    Rng rng(value_seed * 0x2545f4914f6cdd1dull + 3);
+    Rng rng(rng_derive(value_seed, kStreamTmxmInputs));
     auto draw = [&](bool& zeroed) -> float {
       zeroed = false;
       switch (kind) {

@@ -146,35 +146,50 @@ double Result::margin_of_error() const {
   return stats::proportion_margin_of_error(pvf(), injections);
 }
 
-Result run_sw_campaign(const App& app, const Config& cfg) {
-  Result result;
+void Result::merge(const Result& other) {
+  injections += other.injections;
+  masked += other.masked;
+  sdc += other.sdc;
+  due += other.due;
+  candidate_instructions =
+      std::max(candidate_instructions, other.candidate_instructions);
+}
 
+Result run_sw_campaign(const App& app, const Config& cfg) {
   // Golden pass: profile + reference output.
   ProfileHook profile;
   emu::Device golden(app.device_words);
   if (!app.run(golden, &profile))
     throw std::runtime_error("golden run failed for " + app.name);
   const auto golden_out = app.read_output(golden);
-  result.candidate_instructions = profile.candidates();
-  if (profile.candidates() == 0)
+  const std::uint64_t candidates = profile.candidates();
+  if (candidates == 0)
     throw std::runtime_error("no injectable instructions in " + app.name);
 
-  Rng rng(cfg.seed);
-  for (std::size_t i = 0; i < cfg.n_injections; ++i) {
-    const std::uint64_t target = rng.below(profile.candidates());
-    InjectHook hook(cfg.model, target, rng(), cfg.db, app.memory_is_float);
-    emu::Device dev(app.device_words);
-    const bool ok = app.run(dev, &hook);
-    ++result.injections;
-    if (!ok) {
-      ++result.due;
-      continue;
-    }
-    if (app.read_output(dev) == golden_out)
-      ++result.masked;
-    else
-      ++result.sdc;
-  }
+  exec::EngineConfig ec;
+  ec.n_trials = cfg.n_injections;
+  ec.seed = cfg.seed;
+  ec.jobs = cfg.jobs;
+  ec.progress = cfg.progress;
+  Result result = exec::run_trials<Result>(
+      ec, [] { return 0; },
+      [&](int&, std::size_t, Rng& rng, Result& shard) {
+        const std::uint64_t target = rng.below(candidates);
+        InjectHook hook(cfg.model, target, rng(), cfg.db,
+                        app.memory_is_float);
+        emu::Device dev(app.device_words);
+        const bool ok = app.run(dev, &hook);
+        ++shard.injections;
+        if (!ok) {
+          ++shard.due;
+          return;
+        }
+        if (app.read_output(dev) == golden_out)
+          ++shard.masked;
+        else
+          ++shard.sdc;
+      });
+  result.candidate_instructions = candidates;
   return result;
 }
 

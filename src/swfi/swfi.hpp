@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "emu/device.hpp"
+#include "exec/engine.hpp"
 #include "syndrome/syndrome.hpp"
 
 namespace gpufi::swfi {
@@ -107,6 +108,13 @@ struct Config {
   const syndrome::Database* db = nullptr;  ///< required for RelativeError
   std::size_t n_injections = 500;
   std::uint64_t seed = 1;
+  /// Injection-loop parallelism: 0 resolves to ThreadPool::default_jobs()
+  /// (GPUFI_JOBS or the hardware concurrency), 1 runs serial. The Result is
+  /// identical for every value — injection i draws its target and hook seed
+  /// from Rng(rng_derive(seed, i)).
+  unsigned jobs = 0;
+  /// Optional telemetry callback (injections done, injections/sec, ETA).
+  exec::ProgressFn progress;
 };
 
 /// Campaign outcome: the Program Vulnerability Factor data of Fig. 10 /
@@ -132,6 +140,10 @@ struct Result {
   }
   /// 95% margin of error on the PVF.
   double margin_of_error() const;
+
+  /// Accumulates another (partial) campaign's counters; candidate counts
+  /// from golden profiling are max-combined (they describe the same app).
+  void merge(const Result& other);
 };
 
 /// Runs a software fault-injection campaign on one application: one golden

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -330,6 +332,9 @@ TilePatternStats load_tmxm(std::istream& is) {
 }  // namespace
 
 void Database::save(std::ostream& os) const {
+  // max_digits10 makes the double<->text round trip lossless, so a loaded
+  // database samples exactly what the in-memory one did.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << "gpufi-syndrome-db 1\n";
   os << dists_.size() << '\n';
   for (const auto& [key, dist] : dists_) {
