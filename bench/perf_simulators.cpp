@@ -144,6 +144,93 @@ void report_campaign_scaling() {
       identical ? "true" : "false");
 }
 
+/// The checkpoint-fast-path acceptance check: runs the fig. 4 microbenchmark
+/// set (every characterized opcode on its natural module) through the RTL
+/// campaign at each acceleration level, verifies the outcome counters are
+/// identical, and writes machine-readable `BENCH_rtl.json` so the perf
+/// trajectory is tracked from PR to PR.
+void report_rtl_acceleration() {
+  struct Site {
+    isa::Opcode op;
+    rtl::Module module;
+  };
+  // Fig. 4 pairs: each opcode bombards the module that executes it.
+  const Site kFig04[] = {
+      {isa::Opcode::FADD, rtl::Module::Fp32Fu},
+      {isa::Opcode::FMUL, rtl::Module::Fp32Fu},
+      {isa::Opcode::FFMA, rtl::Module::Fp32Fu},
+      {isa::Opcode::IADD, rtl::Module::IntFu},
+      {isa::Opcode::IMUL, rtl::Module::IntFu},
+      {isa::Opcode::IMAD, rtl::Module::IntFu},
+      {isa::Opcode::FSIN, rtl::Module::Sfu},
+      {isa::Opcode::FEXP, rtl::Module::Sfu},
+      {isa::Opcode::GLD, rtl::Module::PipelineRegs},
+      {isa::Opcode::GST, rtl::Module::PipelineRegs},
+      {isa::Opcode::BRA, rtl::Module::Scheduler},
+      {isa::Opcode::ISETP, rtl::Module::Scheduler},
+  };
+  constexpr std::size_t kFaultsPerSite = 150;
+  constexpr unsigned kJobs = 1;  // serial: measures the per-injection cost
+
+  struct ModeStats {
+    std::size_t injected = 0, masked = 0, sdc = 0, due = 0, converged = 0;
+    double seconds = 0;
+    double rate() const { return seconds > 0 ? injected / seconds : 0.0; }
+  };
+  const auto run_mode = [&](rtlfi::Acceleration accel) {
+    ModeStats s;
+    for (const Site& site : kFig04) {
+      const auto w =
+          rtlfi::make_microbenchmark(site.op, rtlfi::InputRange::Medium, 1);
+      rtlfi::CampaignConfig cfg;
+      cfg.module = site.module;
+      cfg.n_faults = kFaultsPerSite;
+      cfg.seed = 7;
+      cfg.jobs = kJobs;
+      cfg.acceleration = accel;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r = rtlfi::run_campaign(w, cfg);
+      s.seconds += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+      s.injected += r.injected;
+      s.masked += r.masked;
+      s.sdc += r.sdc_single + r.sdc_multi;
+      s.due += r.due;
+      s.converged += r.converged_early;
+    }
+    return s;
+  };
+
+  const ModeStats none = run_mode(rtlfi::Acceleration::None);
+  const ModeStats ckpt = run_mode(rtlfi::Acceleration::Checkpoint);
+  const ModeStats full = run_mode(rtlfi::Acceleration::CheckpointEarlyExit);
+  const auto same = [&](const ModeStats& m) {
+    return m.injected == none.injected && m.masked == none.masked &&
+           m.sdc == none.sdc && m.due == none.due;
+  };
+  const bool identical = same(ckpt) && same(full);
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof json,
+      "{\"bench\":\"rtl_acceleration\",\"sites\":%zu,"
+      "\"faults_per_site\":%zu,\"jobs\":%u,"
+      "\"inj_per_sec_none\":%.1f,\"inj_per_sec_checkpoint\":%.1f,"
+      "\"inj_per_sec_full\":%.1f,\"speedup_checkpoint\":%.2f,"
+      "\"speedup_full\":%.2f,\"converged_early\":%zu,"
+      "\"identical_outcomes\":%s}",
+      sizeof kFig04 / sizeof kFig04[0], kFaultsPerSite, kJobs, none.rate(),
+      ckpt.rate(), full.rate(), none.rate() > 0 ? ckpt.rate() / none.rate() : 0.0,
+      none.rate() > 0 ? full.rate() / none.rate() : 0.0, full.converged,
+      identical ? "true" : "false");
+  std::printf("%s\n", json);
+  if (std::FILE* f = std::fopen("BENCH_rtl.json", "w")) {
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -152,5 +239,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   report_campaign_scaling();
+  report_rtl_acceleration();
   return 0;
 }

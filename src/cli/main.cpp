@@ -43,7 +43,11 @@ int usage() {
       "\n"
       "every command accepts --jobs N: worker threads for the campaign loop\n"
       "(default: GPUFI_JOBS env, else all hardware threads). Results are\n"
-      "byte-identical for every --jobs value.\n");
+      "byte-identical for every --jobs value.\n"
+      "\n"
+      "RTL commands accept --accel none|checkpoint|full: the checkpoint\n"
+      "fast-forward / golden-convergence early-exit level (default full;\n"
+      "results are byte-identical at every level).\n");
   return 2;
 }
 
@@ -75,6 +79,7 @@ struct Options {
   std::string range = "M";
   std::string tile = "random";
   unsigned jobs = 0;  ///< 0 = GPUFI_JOBS env or hardware concurrency
+  rtlfi::Acceleration accel = rtlfi::Acceleration::CheckpointEarlyExit;
 
   static Options parse(int argc, char** argv, int first) {
     Options o;
@@ -91,6 +96,16 @@ struct Options {
       else if (key == "--tile") o.tile = val;
       else if (key == "--jobs")
         o.jobs = static_cast<unsigned>(std::strtoul(val.c_str(), nullptr, 10));
+      else if (key == "--accel") {
+        if (val == "none") o.accel = rtlfi::Acceleration::None;
+        else if (val == "checkpoint")
+          o.accel = rtlfi::Acceleration::Checkpoint;
+        else if (val == "full")
+          o.accel = rtlfi::Acceleration::CheckpointEarlyExit;
+        else
+          std::fprintf(stderr, "warning: unknown --accel level %s\n",
+                       val.c_str());
+      }
       else std::fprintf(stderr, "warning: unknown option %s\n", key.c_str());
     }
     return o;
@@ -149,6 +164,7 @@ int cmd_rtl(int argc, char** argv) {
   cfg.n_faults = o.faults;
   cfg.seed = o.seed;
   cfg.jobs = o.jobs;
+  cfg.acceleration = o.accel;
   cfg.progress = stderr_progress("injections");
   std::printf("== RTL campaign: %s on %s (%s inputs), %zu faults\n",
               std::string(isa::mnemonic(*op)).c_str(),
@@ -171,6 +187,7 @@ int cmd_tmxm(int argc, char** argv) {
   cfg.n_faults = o.faults;
   cfg.seed = o.seed;
   cfg.jobs = o.jobs;
+  cfg.acceleration = o.accel;
   cfg.progress = stderr_progress("injections");
   std::printf("== t-MxM campaign: %s site, %s tile, %zu faults\n",
               std::string(rtl::module_name(*site)).c_str(),
@@ -197,6 +214,7 @@ int cmd_build_db(int argc, char** argv) {
   core::RtlCharacterizationConfig cfg;
   cfg.faults_per_campaign = o.faults;
   cfg.jobs = o.jobs;
+  cfg.acceleration = o.accel;
   cfg.progress = stderr_progress("campaigns");
   std::printf("building syndrome database (%zu faults/campaign)...\n",
               cfg.faults_per_campaign);

@@ -95,6 +95,7 @@ syndrome::Database build_syndrome_database(
       cc.n_faults = cfg.tmxm_faults;
       cc.seed = rng_derive(cfg.seed, i, 0);
       cc.jobs = 1;
+      cc.acceleration = cfg.acceleration;
       results[i] = rtlfi::run_campaign(w, cc);
       return;
     }
@@ -107,6 +108,7 @@ syndrome::Database build_syndrome_database(
       cc.n_faults = cfg.faults_per_campaign / cfg.value_seeds;
       cc.seed = rng_derive(cfg.seed, i, v + 1);
       cc.jobs = 1;
+      cc.acceleration = cfg.acceleration;
       merged.merge(rtlfi::run_campaign(w, cc));
     }
     results[i] = std::move(merged);

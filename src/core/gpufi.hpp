@@ -4,6 +4,7 @@
 
 #include "exec/engine.hpp"
 #include "nn/network.hpp"
+#include "rtlfi/campaign.hpp"
 #include "syndrome/syndrome.hpp"
 
 namespace gpufi::core {
@@ -21,6 +22,8 @@ struct RtlCharacterizationConfig {
   /// ThreadPool::default_jobs()). Every campaign's seed is derived from
   /// (seed, campaign index), so the database is identical for every value.
   unsigned jobs = 0;
+  /// RTL hot-path acceleration (byte-identical results at every level).
+  rtlfi::Acceleration acceleration = rtlfi::Acceleration::CheckpointEarlyExit;
   /// Optional telemetry (campaigns finished, campaigns/sec, ETA).
   exec::ProgressFn progress;
 

@@ -1,7 +1,9 @@
 #include "rtl/sm.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
+#include <functional>
 #include <stdexcept>
 
 #include "fparith/fp32.hpp"
@@ -18,11 +20,30 @@ using isa::Opcode;
 using isa::OperandKind;
 
 constexpr std::uint64_t kRpcNone = 0x1FFF;  // 13-bit PC sentinel
+constexpr std::uint64_t kUnlimitedCycles = std::uint64_t{1} << 62;
 
 struct TrapExc {
   const char* reason;
 };
 struct WatchdogExc {};
+struct ConvergedExc {};
+
+/// Optional tracing/resume behaviour of one Machine run. The plain run
+/// paths pass the default-constructed context (all features off).
+struct RunCtx {
+  // Golden-trace recording.
+  GoldenTrace* record = nullptr;
+  std::uint64_t interval = 1;  ///< min cycles between ladder rungs
+  std::vector<std::uint64_t> capture_at;  ///< sorted; mid-instruction grabs
+  std::function<SmCheckpoint(std::uint64_t, unsigned, bool)> capture;
+  // Convergence early-exit against a recorded golden trace.
+  const GoldenTrace* reference = nullptr;
+  std::uint64_t check_interval = 16;
+  // Fast-forward: re-enter the scheduler loop at this restored checkpoint.
+  const SmCheckpoint* resume_from = nullptr;
+};
+
+const RunCtx kPlainRun;
 
 /// True if the opcode executes entirely in the scheduler controller.
 bool is_scheduler_op(Opcode op) {
@@ -42,9 +63,12 @@ class Machine {
  public:
   Machine(ModuleState& sched, ModuleState& intfu, ModuleState& fpfu,
           ModuleState& sfu, ModuleState& sfuctl, ModuleState& pipe,
-          std::vector<std::uint32_t>& global, const isa::Program& prog,
+          TrackedArray<std::uint32_t>& global,
+          TrackedArray<std::uint32_t>& regs,
+          TrackedArray<std::uint8_t>& preds,
+          TrackedArray<std::uint32_t>& shared, const isa::Program& prog,
           const GridDims& dims, const std::optional<FaultSpec>& fault,
-          std::uint64_t max_cycles)
+          std::uint64_t max_cycles, const RunCtx& ctx)
       : sched_(sched),
         intfu_(intfu),
         fpfu_(fpfu),
@@ -52,10 +76,14 @@ class Machine {
         sfuctl_(sfuctl),
         pipe_(pipe),
         global_(global),
+        regs_(regs),
+        preds_(preds),
+        shared_(shared),
         prog_(prog),
         dims_(dims),
         fault_(fault),
         max_cycles_(max_cycles),
+        ctx_(ctx),
         L(layouts()) {}
 
   RunResult run() {
@@ -63,14 +91,24 @@ class Machine {
     try {
       if (prog_.code.size() >= kRpcNone)
         throw TrapExc{"program too large for 13-bit PC"};
-      // Launch setup: kernel parameters and CTA dimensions are latched in
-      // the scheduler controller (faultable, per the paper's observation
-      // that the controller stores memory addresses).
-      for (unsigned p = 0; p < 8; ++p)
-        sched_.set(L.scheduler.param[p], prog_.params[p]);
-      sched_.set(L.scheduler.ntid_x, dims_.block_x);
-      sched_.set(L.scheduler.ntid_y, dims_.block_y);
-      for (unsigned cta = 0; cta < dims_.ctas(); ++cta) run_cta(cta);
+      unsigned start_cta = 0;
+      if (ctx_.resume_from) {
+        // The checkpoint was captured at a scheduler quiescent point: the
+        // restored banks already hold the launch latches, warp table and
+        // memories, so execution re-enters the scheduler loop directly.
+        cycle_ = ctx_.resume_from->cycle;
+        start_cta = ctx_.resume_from->cta;
+      } else {
+        // Launch setup: kernel parameters and CTA dimensions are latched in
+        // the scheduler controller (faultable, per the paper's observation
+        // that the controller stores memory addresses).
+        for (unsigned p = 0; p < 8; ++p)
+          sched_.set(L.scheduler.param[p], prog_.params[p]);
+        sched_.set(L.scheduler.ntid_x, dims_.block_x);
+        sched_.set(L.scheduler.ntid_y, dims_.block_y);
+      }
+      for (unsigned cta = start_cta; cta < dims_.ctas(); ++cta)
+        run_cta(cta, ctx_.resume_from != nullptr && cta == start_cta);
       result.status = RunStatus::Ok;
     } catch (const TrapExc& t) {
       result.status = RunStatus::Trap;
@@ -78,6 +116,11 @@ class Machine {
     } catch (const WatchdogExc&) {
       result.status = RunStatus::Watchdog;
       result.trap_reason = "watchdog expired";
+    } catch (const ConvergedExc&) {
+      result.status = RunStatus::Ok;
+      result.converged = true;
+      result.cycles = ctx_.reference->result.cycles;
+      return result;
     }
     result.cycles = cycle_;
     return result;
@@ -95,6 +138,45 @@ class Machine {
     }
     ++cycle_;
     if (cycle_ > max_cycles_) throw WatchdogExc{};
+    if (ctx_.record && capture_idx_ < ctx_.capture_at.size() &&
+        cycle_ >= ctx_.capture_at[capture_idx_]) {
+      // Mid-instruction capture: restorable, but not resumable (the
+      // interpreter's implicit control-flow position is not part of it).
+      ctx_.record->checkpoints.push_back(ctx_.capture(cycle_, cta_, false));
+      ++capture_idx_;
+    }
+  }
+
+  /// Composite machine digest as used in the golden timeline: the Sm state
+  /// components plus the CTA loop index (the only interpreter state that is
+  /// live at a quiescent point besides the cycle counter, which keys the
+  /// timeline itself).
+  std::uint64_t timeline_digest() const {
+    return sched_.digest() ^ intfu_.digest() ^ fpfu_.digest() ^
+           sfu_.digest() ^ sfuctl_.digest() ^ pipe_.digest() ^
+           global_.digest() ^ regs_.digest() ^ preds_.digest() ^
+           shared_.digest() ^
+           state_digest_mix(digest_salt(kSaltDomainCta), 0, cta_ + 1);
+  }
+
+  /// Called at the top of the scheduler loop — the one place where the
+  /// interpreter keeps no implicit state, so the Sm members fully describe
+  /// the machine. Records the golden trace and/or tests for convergence.
+  void quiescent_point() {
+    if (ctx_.record) {
+      if (cycle_ >= next_ckpt_) {
+        ctx_.record->checkpoints.push_back(ctx_.capture(cycle_, cta_, true));
+        next_ckpt_ = cycle_ + ctx_.interval;
+      }
+      ctx_.record->digest_at.emplace(cycle_, timeline_digest());
+    }
+    if (ctx_.reference && !fault_pending_ && cycle_ >= next_check_) {
+      const auto it = ctx_.reference->digest_at.find(cycle_);
+      if (it != ctx_.reference->digest_at.end() &&
+          it->second == timeline_digest())
+        throw ConvergedExc{};
+      next_check_ = cycle_ + ctx_.check_interval;
+    }
   }
 
   ModuleState& module_of(Module m) {
@@ -115,11 +197,17 @@ class Machine {
     return static_cast<Opcode>(v);
   }
 
-  std::uint32_t& rf(unsigned warp, unsigned lane, unsigned reg) {
+  std::uint32_t rf(unsigned warp, unsigned lane, unsigned reg) const {
     return regs_[(warp * 32 + lane) * isa::kNumRegs + (reg & 31)];
   }
-  std::uint8_t& pf(unsigned warp, unsigned lane, unsigned p) {
+  std::uint8_t pf(unsigned warp, unsigned lane, unsigned p) const {
     return preds_[(warp * 32 + lane) * isa::kNumPreds + (p & 3)];
+  }
+  void set_rf(unsigned warp, unsigned lane, unsigned reg, std::uint32_t v) {
+    regs_.store((warp * 32 + lane) * isa::kNumRegs + (reg & 31), v);
+  }
+  void set_pf(unsigned warp, unsigned lane, unsigned p, std::uint8_t v) {
+    preds_.store((warp * 32 + lane) * isa::kNumPreds + (p & 3), v);
   }
 
   std::uint32_t sreg_value(unsigned warp, unsigned lane, std::uint32_t id) {
@@ -169,39 +257,43 @@ class Machine {
 
   // --------------------------------------------------------- CTA execution
 
-  void run_cta(unsigned cta) {
+  void run_cta(unsigned cta, bool resuming) {
     cta_ = cta;
-    sched_.set(L.scheduler.ctaid_x, cta % dims_.grid_x);
-    sched_.set(L.scheduler.ctaid_y, cta / dims_.grid_x);
-    const unsigned tpc = dims_.threads_per_cta();
-    const unsigned n_warps = (tpc + 31) / 32;
-    if (n_warps > kMaxWarps) throw TrapExc{"too many warps per CTA"};
+    if (!resuming) {
+      sched_.set(L.scheduler.ctaid_x, cta % dims_.grid_x);
+      sched_.set(L.scheduler.ctaid_y, cta / dims_.grid_x);
+      const unsigned tpc = dims_.threads_per_cta();
+      const unsigned n_warps = (tpc + 31) / 32;
+      if (n_warps > kMaxWarps) throw TrapExc{"too many warps per CTA"};
 
-    regs_.assign(std::size_t{kMaxWarps} * 32 * isa::kNumRegs, 0);
-    preds_.assign(std::size_t{kMaxWarps} * 32 * isa::kNumPreds, 0);
-    shared_.assign(prog_.shared_words, 0);
+      regs_.clear();
+      preds_.clear();
+      shared_.clear();
 
-    // Warp table power-on for this CTA.
-    for (unsigned w = 0; w < kMaxWarps; ++w) {
-      const auto& ws = L.scheduler.warp[w];
-      if (w < n_warps) {
-        std::uint32_t mask = 0;
-        for (unsigned l = 0; l < 32 && w * 32 + l < tpc; ++l) mask |= 1u << l;
-        sched_.set(ws.stack[0].mask, mask);
-        sched_.set(ws.stack[0].pc, 0);
-        sched_.set(ws.stack[0].rpc, kRpcNone);
-        sched_.set(ws.depth, 1);
-        sched_.set(ws.state, static_cast<std::uint64_t>(WarpState::Ready));
-      } else {
-        sched_.set(ws.depth, 0);
-        sched_.set(ws.state, static_cast<std::uint64_t>(WarpState::Done));
+      // Warp table power-on for this CTA.
+      for (unsigned w = 0; w < kMaxWarps; ++w) {
+        const auto& ws = L.scheduler.warp[w];
+        if (w < n_warps) {
+          std::uint32_t mask = 0;
+          for (unsigned l = 0; l < 32 && w * 32 + l < tpc; ++l)
+            mask |= 1u << l;
+          sched_.set(ws.stack[0].mask, mask);
+          sched_.set(ws.stack[0].pc, 0);
+          sched_.set(ws.stack[0].rpc, kRpcNone);
+          sched_.set(ws.depth, 1);
+          sched_.set(ws.state, static_cast<std::uint64_t>(WarpState::Ready));
+        } else {
+          sched_.set(ws.depth, 0);
+          sched_.set(ws.state, static_cast<std::uint64_t>(WarpState::Done));
+        }
       }
+      sched_.set(L.scheduler.barrier_mask, 0);
+      sched_.set(L.scheduler.barrier_active, 0);
+      sched_.set(L.scheduler.rr_ptr, 0);
     }
-    sched_.set(L.scheduler.barrier_mask, 0);
-    sched_.set(L.scheduler.barrier_active, 0);
-    sched_.set(L.scheduler.rr_ptr, 0);
 
     while (true) {
+      quiescent_point();
       // All warps done?
       bool all_done = true;
       for (unsigned w = 0; w < kMaxWarps; ++w) {
@@ -711,12 +803,12 @@ class Machine {
         const unsigned t = beat * kLanes + l;
         if (!((wbm >> t) & 1)) continue;
         if (wb_op == Opcode::ISETP || wb_op == Opcode::FSETP) {
-          pf(wb_warp, t, wb_dst & 3) =
-              (pipe_.get(P.pred_stage) >> t) & 1 ? 1 : 0;
+          set_pf(wb_warp, t, wb_dst & 3,
+                 (pipe_.get(P.pred_stage) >> t) & 1 ? 1 : 0);
         } else if (writes_gpr_op(wb_op)) {
           if (!((rcv >> t) & 1)) continue;
-          rf(wb_warp, t, wb_dst & 31) =
-              static_cast<std::uint32_t>(pipe_.get(P.rc[t]));
+          set_rf(wb_warp, t, wb_dst & 31,
+                 static_cast<std::uint32_t>(pipe_.get(P.rc[t])));
         }
       }
       tick();
@@ -879,7 +971,10 @@ class Machine {
       if (addr >= limit) throw TrapExc{"out-of-bounds memory access"};
       if (is_store) {
         const auto v = static_cast<std::uint32_t>(pipe_.get(s2.lane[l].b));
-        (is_global ? global_[addr] : shared_[addr]) = v;
+        if (is_global)
+          global_.store(addr, v);
+        else
+          shared_.store(addr, v);
       } else {
         pipe_.set(s2.lane[l].res,
                   is_global ? global_[addr] : shared_[addr]);
@@ -1137,32 +1232,47 @@ class Machine {
   ModuleState& sfu_;
   ModuleState& sfuctl_;
   ModuleState& pipe_;
-  std::vector<std::uint32_t>& global_;
+  TrackedArray<std::uint32_t>& global_;
+  TrackedArray<std::uint32_t>& regs_;
+  TrackedArray<std::uint8_t>& preds_;
+  TrackedArray<std::uint32_t>& shared_;
   const isa::Program& prog_;
   const GridDims& dims_;
   std::optional<FaultSpec> fault_;
   std::uint64_t max_cycles_;
+  const RunCtx& ctx_;
   const Layouts& L;
 
   std::uint64_t cycle_ = 0;
   bool fault_pending_ = true;
   unsigned cta_ = 0;
-
-  std::vector<std::uint32_t> regs_;
-  std::vector<std::uint8_t> preds_;
-  std::vector<std::uint32_t> shared_;
+  std::uint64_t next_ckpt_ = 0;
+  std::uint64_t next_check_ = 0;
+  std::size_t capture_idx_ = 0;
 };
 
 }  // namespace
 
+const SmCheckpoint* GoldenTrace::floor(std::uint64_t c) const {
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it)
+    if (it->quiescent && it->cycle <= c) return &*it;
+  return nullptr;
+}
+
 Sm::Sm(std::size_t global_words)
-    : global_(global_words, 0),
-      sched_(layouts().scheduler.layout),
+    : sched_(layouts().scheduler.layout),
       intfu_(layouts().int_fu.layout),
       fpfu_(layouts().fp32_fu.layout),
       sfu_(layouts().sfu.layout),
       sfuctl_(layouts().sfu_ctl.layout),
-      pipe_(layouts().pipeline.layout) {}
+      pipe_(layouts().pipeline.layout) {
+  global_.init(global_words, digest_salt(kSaltDomainGlobal));
+  regs_.init(std::size_t{kMaxWarps} * 32 * isa::kNumRegs,
+             digest_salt(kSaltDomainRegs));
+  preds_.init(std::size_t{kMaxWarps} * 32 * isa::kNumPreds,
+              digest_salt(kSaltDomainPreds));
+  shared_.init(0, digest_salt(kSaltDomainShared));
+}
 
 std::uint32_t Sm::alloc(std::size_t words) {
   if (alloc_watermark_ + words > global_.size())
@@ -1172,20 +1282,22 @@ std::uint32_t Sm::alloc(std::size_t words) {
   return base;
 }
 std::uint32_t Sm::read_word(std::uint32_t addr) const {
-  return global_.at(addr);
+  if (addr >= global_.size()) throw std::out_of_range("read_word");
+  return global_[addr];
 }
 void Sm::write_word(std::uint32_t addr, std::uint32_t value) {
-  global_.at(addr) = value;
+  if (addr >= global_.size()) throw std::out_of_range("write_word");
+  global_.store(addr, value);
 }
 float Sm::read_float(std::uint32_t addr) const {
-  return std::bit_cast<float>(global_.at(addr));
+  return std::bit_cast<float>(read_word(addr));
 }
 void Sm::write_float(std::uint32_t addr, float value) {
-  global_.at(addr) = std::bit_cast<std::uint32_t>(value);
+  write_word(addr, std::bit_cast<std::uint32_t>(value));
 }
 void Sm::fill(std::uint32_t addr, std::size_t words, std::uint32_t value) {
   if (addr + words > global_.size()) throw std::out_of_range("fill");
-  std::fill(global_.begin() + addr, global_.begin() + addr + words, value);
+  for (std::size_t i = 0; i < words; ++i) global_.store(addr + i, value);
 }
 
 const ModuleState& Sm::module_state(Module m) const {
@@ -1200,6 +1312,64 @@ const ModuleState& Sm::module_state(Module m) const {
   return pipe_;
 }
 
+ModuleState& Sm::bank(Module m) {
+  return const_cast<ModuleState&>(module_state(m));
+}
+
+void Sm::set_tracking(bool on) {
+  if (tracking_ == on) return;
+  tracking_ = on;
+  for (std::size_t i = 0; i < kNumModules; ++i)
+    bank(static_cast<Module>(i))
+        .set_tracking(on, digest_salt(kSaltDomainModule0 +
+                                      static_cast<unsigned>(i)));
+  global_.set_tracking(on);
+  regs_.set_tracking(on);
+  preds_.set_tracking(on);
+  shared_.set_tracking(on);
+}
+
+void Sm::enable_digest_tracking() { set_tracking(true); }
+
+std::uint64_t Sm::state_digest() const {
+  return sched_.digest() ^ intfu_.digest() ^ fpfu_.digest() ^ sfu_.digest() ^
+         sfuctl_.digest() ^ pipe_.digest() ^ global_.digest() ^
+         regs_.digest() ^ preds_.digest() ^ shared_.digest();
+}
+
+SmCheckpoint Sm::snap(std::uint64_t cycle, unsigned cta,
+                      bool quiescent) const {
+  SmCheckpoint c;
+  c.cycle = cycle;
+  c.cta = cta;
+  c.quiescent = quiescent;
+  for (std::size_t i = 0; i < kNumModules; ++i) {
+    const ModuleState& ms = module_state(static_cast<Module>(i));
+    c.modules[i].bits = ms.bits();
+    c.modules[i].digest = ms.digest();
+  }
+  c.global = global_.snapshot();
+  c.regs = regs_.snapshot();
+  c.preds = preds_.snapshot();
+  c.shared = shared_.snapshot();
+  c.digest = state_digest();
+  return c;
+}
+
+SmCheckpoint Sm::checkpoint() {
+  enable_digest_tracking();
+  return snap(0, 0, false);
+}
+
+void Sm::restore(const SmCheckpoint& c) {
+  for (std::size_t i = 0; i < kNumModules; ++i)
+    bank(static_cast<Module>(i)).load(c.modules[i].bits, c.modules[i].digest);
+  global_.restore(c.global);
+  regs_.restore(c.regs);
+  preds_.restore(c.preds);
+  shared_.restore(c.shared);
+}
+
 RunResult Sm::execute(const isa::Program& prog, const GridDims& dims,
                       const std::optional<FaultSpec>& fault,
                       std::uint64_t max_cycles) {
@@ -1210,8 +1380,10 @@ RunResult Sm::execute(const isa::Program& prog, const GridDims& dims,
   sfu_.reset();
   sfuctl_.reset();
   pipe_.reset();
-  Machine m(sched_, intfu_, fpfu_, sfu_, sfuctl_, pipe_, global_, prog, dims,
-            fault, max_cycles == 0 ? (std::uint64_t{1} << 62) : max_cycles);
+  shared_.resize_clear(prog.shared_words);
+  Machine m(sched_, intfu_, fpfu_, sfu_, sfuctl_, pipe_, global_, regs_,
+            preds_, shared_, prog, dims, fault,
+            max_cycles == 0 ? kUnlimitedCycles : max_cycles, kPlainRun);
   return m.run();
 }
 
@@ -1224,6 +1396,60 @@ RunResult Sm::run_with_fault(const isa::Program& prog, const GridDims& dims,
                              const FaultSpec& fault,
                              std::uint64_t max_cycles) {
   return execute(prog, dims, fault, max_cycles);
+}
+
+RunResult Sm::run_traced(const isa::Program& prog, const GridDims& dims,
+                         GoldenTrace& trace,
+                         std::uint64_t checkpoint_interval,
+                         std::uint64_t max_cycles,
+                         std::vector<std::uint64_t> capture_at) {
+  enable_digest_tracking();
+  trace.checkpoints.clear();
+  trace.digest_at.clear();
+  std::sort(capture_at.begin(), capture_at.end());
+  sched_.reset();
+  intfu_.reset();
+  fpfu_.reset();
+  sfu_.reset();
+  sfuctl_.reset();
+  pipe_.reset();
+  shared_.resize_clear(prog.shared_words);
+  RunCtx ctx;
+  ctx.record = &trace;
+  ctx.interval = std::max<std::uint64_t>(1, checkpoint_interval);
+  ctx.capture_at = std::move(capture_at);
+  ctx.capture = [this](std::uint64_t cy, unsigned ct, bool q) {
+    return snap(cy, ct, q);
+  };
+  Machine m(sched_, intfu_, fpfu_, sfu_, sfuctl_, pipe_, global_, regs_,
+            preds_, shared_, prog, dims, std::nullopt,
+            max_cycles == 0 ? kUnlimitedCycles : max_cycles, ctx);
+  trace.result = m.run();
+  return trace.result;
+}
+
+RunResult Sm::resume_with_fault(const isa::Program& prog, const GridDims& dims,
+                                const FaultSpec& fault,
+                                std::uint64_t max_cycles,
+                                const SmCheckpoint& from,
+                                const GoldenTrace* golden,
+                                std::uint64_t check_interval) {
+  if (!from.quiescent)
+    throw std::invalid_argument(
+        "resume_with_fault: checkpoint is not resumable");
+  // Digest maintenance is only paid for when the convergence early-exit
+  // needs it; the checkpoint's recorded digests stay authoritative either
+  // way because restore() overwrites the live digests wholesale.
+  set_tracking(golden != nullptr);
+  restore(from);
+  RunCtx ctx;
+  ctx.resume_from = &from;
+  ctx.reference = golden;
+  ctx.check_interval = std::max<std::uint64_t>(1, check_interval);
+  Machine m(sched_, intfu_, fpfu_, sfu_, sfuctl_, pipe_, global_, regs_,
+            preds_, shared_, prog, dims, fault,
+            max_cycles == 0 ? kUnlimitedCycles : max_cycles, ctx);
+  return m.run();
 }
 
 }  // namespace gpufi::rtl

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "isa/isa.hpp"
@@ -42,6 +45,148 @@ struct RunResult {
   RunStatus status = RunStatus::Ok;
   std::string trap_reason;
   std::uint64_t cycles = 0;
+  /// True when the run was cut short because the full machine state
+  /// re-converged with the golden reference — the remainder of the run is
+  /// then provably the golden suffix, so the outcome (including every
+  /// memory word) is identical to running to completion. `cycles` reports
+  /// the golden run's cycle count in that case.
+  bool converged = false;
+};
+
+/// Architectural memory with an incrementally maintained content digest and
+/// a high watermark over its touched prefix. Invariant: every element at
+/// index >= hi() is T{}. clear(), snapshot() and restore() are therefore
+/// proportional to the touched prefix, not to the (multi-megaword) array.
+template <class T>
+class TrackedArray {
+ public:
+  /// Prefix copy of the array (checkpoint building block).
+  struct Snapshot {
+    std::vector<T> prefix;  ///< copy of [0, hi) at capture
+    std::size_t size = 0;   ///< full array size at capture
+    std::uint64_t digest = 0;
+  };
+
+  /// (Re)initializes to `n` zero elements under digest domain `salt`.
+  void init(std::size_t n, std::uint64_t salt) {
+    v_.assign(n, T{});
+    salt_ = salt;
+    hi_ = 0;
+    digest_ = 0;
+  }
+  /// Resizes to `n` zero elements (keeps salt and tracking mode).
+  void resize_clear(std::size_t n) {
+    if (v_.size() == n) {
+      clear();
+      return;
+    }
+    v_.assign(n, T{});
+    hi_ = 0;
+    digest_ = 0;
+  }
+
+  std::size_t size() const { return v_.size(); }
+  T operator[](std::size_t i) const { return v_[i]; }
+  const std::vector<T>& vec() const { return v_; }
+
+  /// The only mutation primitive: writes element `i`, maintaining the
+  /// watermark and (when tracking) the digest.
+  void store(std::size_t i, T val) {
+    T& slot = v_[i];
+    if (slot == val) return;
+    if (track_)
+      digest_ ^= state_digest_mix(salt_, i, slot) ^
+                 state_digest_mix(salt_, i, val);
+    slot = val;
+    if (i >= hi_) hi_ = i + 1;
+  }
+
+  /// Zeroes the touched prefix (equivalent to zeroing the whole array).
+  void clear() {
+    std::fill(v_.begin(), v_.begin() + static_cast<std::ptrdiff_t>(hi_), T{});
+    hi_ = 0;
+    digest_ = 0;
+  }
+
+  std::size_t hi() const { return hi_; }
+  std::uint64_t digest() const { return digest_; }
+
+  void set_tracking(bool on) {
+    if (on && !track_) {
+      digest_ = 0;
+      for (std::size_t i = 0; i < hi_; ++i)
+        digest_ ^= state_digest_mix(salt_, i,
+                                    static_cast<std::uint64_t>(v_[i]));
+    }
+    track_ = on;
+  }
+  bool tracking() const { return track_; }
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.prefix.assign(v_.begin(),
+                    v_.begin() + static_cast<std::ptrdiff_t>(hi_));
+    s.size = v_.size();
+    s.digest = digest_;
+    return s;
+  }
+  void restore(const Snapshot& s) {
+    if (v_.size() != s.size)
+      v_.assign(s.size, T{});
+    else if (hi_ > s.prefix.size())
+      std::fill(v_.begin() + static_cast<std::ptrdiff_t>(s.prefix.size()),
+                v_.begin() + static_cast<std::ptrdiff_t>(hi_), T{});
+    std::copy(s.prefix.begin(), s.prefix.end(), v_.begin());
+    hi_ = s.prefix.size();
+    digest_ = s.digest;
+  }
+
+ private:
+  std::vector<T> v_;
+  std::size_t hi_ = 0;
+  std::uint64_t salt_ = 0;
+  std::uint64_t digest_ = 0;
+  bool track_ = false;
+};
+
+/// Full microarchitectural state of an Sm at one instant: the six flip-flop
+/// banks of Table I, every architectural memory, and the position within
+/// the run (cycle counter, CTA loop index). Checkpoints captured at a
+/// scheduler quiescent point (`quiescent == true`) are resumable — the
+/// interpreter holds no implicit C++ state there, so execution can continue
+/// from the restored image; mid-instruction captures are restorable only.
+struct SmCheckpoint {
+  std::uint64_t cycle = 0;
+  unsigned cta = 0;
+  bool quiescent = false;
+  std::uint64_t digest = 0;  ///< composite state digest at capture
+
+  struct ModuleSnap {
+    BitVector bits;
+    std::uint64_t digest = 0;
+  };
+  std::array<ModuleSnap, kNumModules> modules;  ///< indexed by Module
+  TrackedArray<std::uint32_t>::Snapshot global, regs, shared;
+  TrackedArray<std::uint8_t>::Snapshot preds;
+};
+
+/// Golden-run acceleration artifact: a ladder of resumable checkpoints plus
+/// the digest timeline faulty trials compare against to exit early. Built
+/// once per campaign and shared read-only by every trial.
+struct GoldenTrace {
+  RunResult result;
+  /// Checkpoints in capture order (ascending cycle). Contains one resumable
+  /// rung at least every `checkpoint_interval` cycles — always including
+  /// cycle 0 — plus any requested mid-instruction captures.
+  std::vector<SmCheckpoint> checkpoints;
+  /// Composite digest at every scheduler quiescent point of the golden run.
+  /// When two quiescent points share a cycle (a CTA boundary), the first
+  /// wins; a missed lookup only delays an early exit, never causes one.
+  std::unordered_map<std::uint64_t, std::uint64_t> digest_at;
+
+  /// Latest resumable checkpoint with cycle <= c (nullptr only when the
+  /// trace is empty: a traced run always records a rung at cycle 0).
+  const SmCheckpoint* floor(std::uint64_t c) const;
 };
 
 /// Cycle-level model of one G80-style streaming multiprocessor with
@@ -67,9 +212,10 @@ class Sm {
   void fill(std::uint32_t addr, std::size_t words, std::uint32_t value);
   std::size_t global_words() const { return global_.size(); }
   /// Snapshot of the whole global memory (for golden/faulty comparison).
-  const std::vector<std::uint32_t>& global() const { return global_; }
-  /// Restores a snapshot (e.g. re-arming inputs between injections).
-  void set_global(std::vector<std::uint32_t> mem) { global_ = std::move(mem); }
+  const std::vector<std::uint32_t>& global() const { return global_.vec(); }
+  /// Zeroes global memory (cheap: only the touched prefix is written), so
+  /// every injection starts from the same power-on memory image.
+  void clear_global() { global_.clear(); }
 
   /// Runs a kernel with no fault. `max_cycles` = 0 means unlimited-ish
   /// (2^62). Returns cycle count for fault-window sizing.
@@ -80,6 +226,49 @@ class Sm {
   RunResult run_with_fault(const isa::Program& prog, const GridDims& dims,
                            const FaultSpec& fault, std::uint64_t max_cycles);
 
+  // ---- checkpoint / state-digest fast path ----------------------------
+
+  /// Turns on incremental digest maintenance for every state component
+  /// (recomputing digests from the live state). Idempotent. The plain run
+  /// paths never require this; the traced/resumed paths enable it as
+  /// needed.
+  void enable_digest_tracking();
+  bool digest_tracking() const { return tracking_; }
+  /// Composite digest over the six flip-flop banks and all architectural
+  /// memories (meaningful while digest tracking is on).
+  std::uint64_t state_digest() const;
+
+  /// Captures the current at-rest state (enables tracking). The result is
+  /// restorable but not resumable (no run position is associated with it).
+  SmCheckpoint checkpoint();
+  /// Restores a checkpoint previously captured from an Sm with the same
+  /// layouts. Digest tracking state is preserved.
+  void restore(const SmCheckpoint& c);
+
+  /// Golden run that additionally records the acceleration trace: one
+  /// resumable checkpoint-ladder rung at least every `checkpoint_interval`
+  /// cycles (always including cycle 0) and the digest timeline at every
+  /// scheduler quiescent point. `capture_at` requests extra restorable
+  /// mid-instruction checkpoints at exact cycle numbers (a testing hook).
+  RunResult run_traced(const isa::Program& prog, const GridDims& dims,
+                       GoldenTrace& trace, std::uint64_t checkpoint_interval,
+                       std::uint64_t max_cycles = 0,
+                       std::vector<std::uint64_t> capture_at = {});
+
+  /// Fault-injection run that fast-forwards by restoring `from` (a
+  /// resumable checkpoint with cycle <= fault.cycle) instead of replaying
+  /// the fault-free prefix from reset; the fault fires on exactly the same
+  /// cycle as it would in a full replay. When `golden` is given, the run
+  /// additionally compares its state digest against the golden timeline
+  /// every `check_interval` cycles once the fault is in, and returns
+  /// `converged = true` (status Ok) the moment the full machine state
+  /// coincides with the golden run's at the same cycle.
+  RunResult resume_with_fault(const isa::Program& prog, const GridDims& dims,
+                              const FaultSpec& fault, std::uint64_t max_cycles,
+                              const SmCheckpoint& from,
+                              const GoldenTrace* golden = nullptr,
+                              std::uint64_t check_interval = 16);
+
   /// Read access to a module's flip-flop bank (tests/reports).
   const ModuleState& module_state(Module m) const;
 
@@ -87,9 +276,13 @@ class Sm {
   RunResult execute(const isa::Program& prog, const GridDims& dims,
                     const std::optional<FaultSpec>& fault,
                     std::uint64_t max_cycles);
+  ModuleState& bank(Module m);
+  void set_tracking(bool on);
+  SmCheckpoint snap(std::uint64_t cycle, unsigned cta, bool quiescent) const;
 
-  std::vector<std::uint32_t> global_;
+  TrackedArray<std::uint32_t> global_;
   std::size_t alloc_watermark_ = 0;
+  bool tracking_ = false;
 
   ModuleState sched_;
   ModuleState intfu_;
@@ -97,6 +290,11 @@ class Sm {
   ModuleState sfu_;
   ModuleState sfuctl_;
   ModuleState pipe_;
+
+  // Architectural memories live here (not in the per-run interpreter) so
+  // checkpoints can capture and restore them.
+  TrackedArray<std::uint32_t> regs_, shared_;
+  TrackedArray<std::uint8_t> preds_;
 };
 
 }  // namespace gpufi::rtl

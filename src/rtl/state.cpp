@@ -30,6 +30,23 @@ FieldRef StateLayout::add(std::string name, unsigned width, FieldRole role) {
   return FieldRef{info.offset, info.width};
 }
 
+void ModuleState::set_tracking(bool on, std::uint64_t salt) {
+  track_ = on;
+  if (!on) return;
+  salt_ = salt;
+  digest_ = 0;
+  for (const auto& fi : layout_->fields())
+    digest_ ^= state_digest_mix(salt_, fi.offset,
+                                bits_.get_field(fi.offset, fi.width));
+}
+
+void ModuleState::load(const BitVector& bits, std::uint64_t digest) {
+  if (bits.size() != bits_.size())
+    throw std::invalid_argument("ModuleState::load: size mismatch");
+  bits_ = bits;
+  digest_ = digest;
+}
+
 const FieldInfo& StateLayout::field_at(std::size_t bit) const {
   // Binary search over the sorted field offsets.
   std::size_t lo = 0, hi = fields_.size();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/bitvector.hpp"
+#include "common/rng.hpp"
 
 namespace gpufi::rtl {
 
@@ -75,8 +76,57 @@ class StateLayout {
   std::size_t data_bits_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Incremental state digests.
+//
+// Every stateful component (flip-flop bank, architectural memory, CTA loop
+// index) contributes an XOR-accumulated 64-bit digest; the composite machine
+// digest is the XOR of all component digests. A component's digest is the
+// XOR over its (position, value) pairs of `state_digest_mix`, which hashes
+// position and value under a per-component salt. Two properties make the
+// digest cheap to maintain:
+//  * XOR accumulation: changing one field costs two mixes (XOR the old
+//    contribution out, the new one in) — O(1) per state write.
+//  * Zero values contribute nothing: a power-on-reset component digests to
+//    0 and re-computation after enabling tracking touches only live state.
+//
+// The digest is 64 bits wide: with ~1e6 digest comparisons per campaign the
+// probability of any false state-equality is bounded by ~1e6 * 2^-64
+// (~5e-14), far below the campaigns' statistical margins.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kDigestPosMult = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kDigestValMult = 0xbf58476d1ce4e5b9ull;
+
+/// Contribution of one (position, value) pair to a component digest.
+constexpr std::uint64_t state_digest_mix(std::uint64_t salt, std::uint64_t pos,
+                                         std::uint64_t val) {
+  return val == 0
+             ? 0
+             : splitmix64(salt + (pos + 1) * kDigestPosMult +
+                          val * kDigestValMult);
+}
+
+/// Digest-domain indices: each component mixes under a distinct salt so that
+/// equal (position, value) pairs in different components cannot cancel.
+constexpr unsigned kSaltDomainModule0 = 0;  ///< + Module enum index (0..5)
+constexpr unsigned kSaltDomainGlobal = 8;
+constexpr unsigned kSaltDomainRegs = 9;
+constexpr unsigned kSaltDomainPreds = 10;
+constexpr unsigned kSaltDomainShared = 11;
+constexpr unsigned kSaltDomainCta = 12;
+
+/// Salt of a digest domain.
+constexpr std::uint64_t digest_salt(unsigned domain) {
+  return splitmix64(0x6770756669646967ull + domain);
+}
+
 /// A module's live flip-flop bank: a BitVector addressed through FieldRefs.
 /// Fault injection flips raw bits; normal operation reads/writes fields.
+///
+/// With tracking enabled (`set_tracking`), the bank maintains an incremental
+/// field-granular digest of its contents; tracking is off by default so the
+/// plain simulation path pays only an untaken branch per field write.
 class ModuleState {
  public:
   explicit ModuleState(const StateLayout& layout)
@@ -86,6 +136,12 @@ class ModuleState {
     return bits_.get_field(f.offset, f.width);
   }
   void set(FieldRef f, std::uint64_t v) {
+    if (track_) {
+      const std::uint64_t old = bits_.get_field(f.offset, f.width);
+      if (old == v) return;
+      digest_ ^= state_digest_mix(salt_, f.offset, old) ^
+                 state_digest_mix(salt_, f.offset, v);
+    }
     bits_.set_field(f.offset, f.width, v);
   }
   bool get_flag(FieldRef f) const { return get(f) != 0; }
@@ -100,16 +156,47 @@ class ModuleState {
   }
 
   /// The fault-injection primitive.
-  void flip(std::size_t bit) { bits_.flip(bit); }
+  void flip(std::size_t bit) {
+    if (!track_) {
+      bits_.flip(bit);
+      return;
+    }
+    const FieldInfo& fi = layout_->field_at(bit);
+    digest_ ^= state_digest_mix(salt_, fi.offset,
+                                bits_.get_field(fi.offset, fi.width));
+    bits_.flip(bit);
+    digest_ ^= state_digest_mix(salt_, fi.offset,
+                                bits_.get_field(fi.offset, fi.width));
+  }
   /// Clears every flip-flop (power-on reset).
-  void reset() { bits_.clear(); }
+  void reset() {
+    bits_.clear();
+    digest_ = 0;
+  }
 
   std::size_t size() const { return bits_.size(); }
   const StateLayout& layout() const { return *layout_; }
 
+  // ---- digest tracking (checkpoint/convergence fast path) --------------
+
+  /// Enables (recomputing the digest from the live bits) or disables
+  /// incremental digest maintenance. `salt` is the bank's digest domain.
+  void set_tracking(bool on, std::uint64_t salt);
+  bool tracking() const { return track_; }
+  /// Current content digest (only meaningful while tracking).
+  std::uint64_t digest() const { return digest_; }
+
+  /// Raw bit image (checkpoint capture).
+  const BitVector& bits() const { return bits_; }
+  /// Restores a checkpointed bit image plus its digest. Sizes must match.
+  void load(const BitVector& bits, std::uint64_t digest);
+
  private:
   const StateLayout* layout_;
   BitVector bits_;
+  std::uint64_t salt_ = 0;
+  std::uint64_t digest_ = 0;
+  bool track_ = false;
 };
 
 }  // namespace gpufi::rtl

@@ -19,6 +19,15 @@ std::string_view outcome_name(Outcome o) {
   return "?";
 }
 
+std::string_view acceleration_name(Acceleration a) {
+  switch (a) {
+    case Acceleration::None: return "none";
+    case Acceleration::Checkpoint: return "checkpoint";
+    case Acceleration::CheckpointEarlyExit: return "checkpoint+early_exit";
+  }
+  return "?";
+}
+
 double CampaignResult::mean_corrupted_elements() const {
   std::size_t n = 0, sum = 0;
   for (const auto& r : records) {
@@ -49,6 +58,7 @@ void CampaignResult::merge(const CampaignResult& other) {
   sdc_single += other.sdc_single;
   sdc_multi += other.sdc_multi;
   due += other.due;
+  converged_early += other.converged_early;
   golden_cycles = std::max(golden_cycles, other.golden_cycles);
   records.insert(records.end(), other.records.begin(), other.records.end());
 }
@@ -90,19 +100,46 @@ namespace {
 
 /// One fault-injection trial: draws the (bit, cycle) location from this
 /// trial's private Rng, replays the workload with the fault armed, and
-/// accumulates the classification into `shard`.
+/// accumulates the classification into `shard`. With `trace` given, the
+/// fault-free prefix is fast-forwarded from the golden checkpoint ladder
+/// (and, with `early_exit`, the run stops the instant the machine state
+/// re-converges with the golden timeline) — same outcome, fewer cycles.
 void run_one_fault(rtl::Sm& sm, const Workload& w, const CampaignConfig& cfg,
                    const rtl::StateLayout& layout,
                    const std::vector<std::uint32_t>& golden_out,
                    std::uint64_t golden_cycles, std::uint64_t watchdog,
-                   Rng& rng, CampaignResult& shard) {
+                   const rtl::GoldenTrace* trace, bool early_exit,
+                   std::uint64_t check_interval, Rng& rng,
+                   CampaignResult& shard) {
   rtl::FaultSpec fault;
   fault.module = cfg.module;
   fault.bit = static_cast<std::uint32_t>(rng.below(layout.bits()));
   fault.cycle = rng.below(golden_cycles);
 
-  w.setup(sm);
-  const auto run = sm.run_with_fault(w.program, w.dims, fault, watchdog);
+  rtl::RunResult run;
+  if (trace) {
+    const rtl::SmCheckpoint* from = trace->floor(fault.cycle);
+    if (!from) throw std::logic_error("empty golden checkpoint ladder");
+    run = sm.resume_with_fault(w.program, w.dims, fault, watchdog, *from,
+                               early_exit ? trace : nullptr, check_interval);
+  } else {
+    // Pristine memory image per trial (the restore path starts every trial
+    // from the golden image, so the naive path must too for byte-identity:
+    // a faulty store must not leak into the next trial's initial memory).
+    sm.clear_global();
+    w.setup(sm);
+    run = sm.run_with_fault(w.program, w.dims, fault, watchdog);
+  }
+
+  if (run.converged) {
+    // Full-state convergence: the rest of the run is provably the golden
+    // suffix, so the output would compare equal word for word.
+    ++shard.injected;
+    ++shard.masked;
+    ++shard.converged_early;
+    return;
+  }
+
   const auto faulty_out = read_out(sm, w.out_base, w.out_words);
   const Outcome outcome = classify(run.status, golden_out, faulty_out);
 
@@ -183,6 +220,31 @@ CampaignResult run_campaign(const Workload& w, const CampaignConfig& cfg) {
   const std::uint64_t watchdog =
       golden_cycles * cfg.watchdog_factor + cfg.watchdog_slack;
 
+  // Accelerated modes re-run the golden workload once more with tracing on,
+  // building the checkpoint ladder and digest timeline every trial shares
+  // read-only. The ladder is built once per campaign (not per worker), so
+  // results stay jobs-count invariant by construction.
+  std::shared_ptr<rtl::GoldenTrace> trace;
+  const bool early_exit = cfg.acceleration == Acceleration::CheckpointEarlyExit;
+  const std::uint64_t check_interval = cfg.convergence_check_interval != 0
+                                           ? cfg.convergence_check_interval
+                                           : 16;
+  if (cfg.acceleration != Acceleration::None) {
+    const std::uint64_t rung_interval =
+        cfg.checkpoint_interval != 0
+            ? cfg.checkpoint_interval
+            : std::max<std::uint64_t>(1, golden_cycles / 24);
+    trace = std::make_shared<rtl::GoldenTrace>();
+    rtl::Sm sm;
+    w.setup(sm);
+    const auto traced = sm.run_traced(w.program, w.dims, *trace,
+                                      rung_interval);
+    if (traced.status != rtl::RunStatus::Ok ||
+        traced.cycles != golden_cycles)
+      throw std::runtime_error("traced golden run diverged from plain golden "
+                               "run for " + w.name);
+  }
+
   exec::EngineConfig ec;
   ec.n_trials = cfg.n_faults;
   ec.seed = cfg.seed;
@@ -193,7 +255,8 @@ CampaignResult run_campaign(const Workload& w, const CampaignConfig& cfg) {
       [&](std::unique_ptr<rtl::Sm>& sm, std::size_t, Rng& rng,
           CampaignResult& shard) {
         run_one_fault(*sm, w, cfg, layout, golden_out, golden_cycles,
-                      watchdog, rng, shard);
+                      watchdog, trace.get(), early_exit, check_interval, rng,
+                      shard);
       });
   result.golden_cycles = golden_cycles;
   return result;

@@ -66,6 +66,21 @@ struct Workload {
   std::string name = "workload";
 };
 
+/// RTL hot-path acceleration level. All levels produce byte-identical
+/// campaign results (counters, records, syndrome DB); `None` exists for A/B
+/// verification and as the reference for the equivalence tests.
+enum class Acceleration : std::uint8_t {
+  None,        ///< every trial replays the workload from reset
+  Checkpoint,  ///< trials fast-forward from the golden checkpoint ladder
+  /// Checkpoint fast-forward plus golden-state-convergence early exit: a
+  /// trial whose full machine state re-coincides with the golden run's is
+  /// terminated immediately as Masked.
+  CheckpointEarlyExit,
+};
+
+/// Human-readable acceleration-mode name ("none", "checkpoint", ...).
+std::string_view acceleration_name(Acceleration a);
+
 /// Campaign parameters: which module to bombard and with how many faults.
 struct CampaignConfig {
   rtl::Module module = rtl::Module::Fp32Fu;
@@ -81,6 +96,14 @@ struct CampaignConfig {
   /// byte-identical for every value — trial i draws from
   /// Rng(rng_derive(seed, i)) and records are merged in trial order.
   unsigned jobs = 0;
+  /// RTL fast-path level (results are identical across levels).
+  Acceleration acceleration = Acceleration::CheckpointEarlyExit;
+  /// Cycles between golden checkpoint-ladder rungs; 0 auto-sizes to
+  /// max(1, golden_cycles / 24) — ~24 rungs bound the average fast-forward
+  /// replay to ~2% of a full run while keeping capture cost negligible.
+  std::uint64_t checkpoint_interval = 0;
+  /// Cycles between faulty-vs-golden digest comparisons; 0 picks 16.
+  std::uint64_t convergence_check_interval = 0;
   /// Optional telemetry callback (injections done, injections/sec, ETA).
   exec::ProgressFn progress;
 };
@@ -94,6 +117,10 @@ struct CampaignResult {
   std::size_t sdc_multi = 0;   ///< SDCs corrupting more than one thread
   std::size_t due = 0;
   std::uint64_t golden_cycles = 0;
+  /// Of the masked trials, how many were cut short by golden-state
+  /// convergence (telemetry only — excluded from equivalence comparisons,
+  /// since the naive path never converges early).
+  std::size_t converged_early = 0;
 
   /// Detailed records (always kept for SDCs).
   std::vector<InjectionRecord> records;
