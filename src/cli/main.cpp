@@ -6,21 +6,31 @@
 //   gpufi build-db <path> [options]       full RTL characterization -> database
 //   gpufi sw <app> <model> [options]      software campaign on an HPC app
 //   gpufi cnn <net> <model> [options]     CNN campaign with criticality split
+//   gpufi serve [options]                 campaign daemon on a Unix socket
+//   gpufi submit <rtl|tmxm|sw|cnn> ...    run a campaign through the daemon
+//   gpufi status [--socket PATH]          daemon queue/cache counters
 //
 // Common options: --faults N / --injections N, --seed S, --db PATH,
 // --jobs N (0 = GPUFI_JOBS env or all hardware threads; results are
 // byte-identical whatever the value).
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "apps/apps.hpp"
 #include "core/gpufi.hpp"
 #include "nn/gpu_infer.hpp"
 #include "rtlfi/campaign.hpp"
 #include "rtlfi/microbench.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "swfi/swfi.hpp"
 
 using namespace gpufi;
@@ -40,36 +50,54 @@ int usage() {
       "<bitflip|doublebit|syndrome> [--injections N] [--db PATH]\n"
       "  gpufi cnn <lenet|yolo> <bitflip|syndrome|tmxm> [--injections N] "
       "[--db PATH] [--models DIR]\n"
+      "  gpufi serve [--socket PATH] [--workers N] [--queue N] "
+      "[--deadline MS]\n"
+      "  gpufi submit <rtl|tmxm|sw|cnn> <args as above> [--socket PATH] "
+      "[--priority P] [--deadline MS]\n"
+      "  gpufi status [--socket PATH]\n"
       "\n"
-      "every command accepts --jobs N: worker threads for the campaign loop\n"
-      "(default: GPUFI_JOBS env, else all hardware threads). Results are\n"
+      "every campaign accepts --jobs N: worker threads for the trial loop\n"
+      "(default: GPUFI_JOBS env, else all hardware threads; submit defaults\n"
+      "to 1 — the daemon's workers are the wide axis). Results are\n"
       "byte-identical for every --jobs value.\n"
       "\n"
       "RTL commands accept --accel none|checkpoint|full: the checkpoint\n"
       "fast-forward / golden-convergence early-exit level (default full;\n"
-      "results are byte-identical at every level).\n");
+      "results are byte-identical at every level).\n"
+      "\n"
+      "exit codes: 0 success, 1 runtime failure, 2 usage error.\n");
   return 2;
 }
 
-std::optional<isa::Opcode> parse_op(const std::string& s) {
-  for (unsigned i = 0; i < isa::kNumOpcodes; ++i) {
-    const auto op = static_cast<isa::Opcode>(i);
-    if (s == isa::mnemonic(op) && isa::is_characterized(op)) return op;
-  }
-  return std::nullopt;
+/// Hard usage error: diagnose on stderr, then exit 2 via usage().
+int usage_error(const std::string& what) {
+  std::fprintf(stderr, "error: %s\n\n", what.c_str());
+  return usage();
 }
 
-std::optional<rtl::Module> parse_module(const std::string& s) {
-  if (s == "fp32") return rtl::Module::Fp32Fu;
-  if (s == "int") return rtl::Module::IntFu;
-  if (s == "sfu") return rtl::Module::Sfu;
-  if (s == "sfuctl") return rtl::Module::SfuCtl;
-  if (s == "sched") return rtl::Module::Scheduler;
-  if (s == "pipe") return rtl::Module::PipelineRegs;
-  return std::nullopt;
+bool parse_u64_strict(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  out = v;
+  return true;
 }
 
-/// Pulls "--name value" pairs out of argv.
+bool parse_int_strict(const std::string& s, int& out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+/// Pulls "--name value" pairs out of argv. Strict: an unknown flag, a flag
+/// missing its value, a malformed number, or an invalid enum value is a hard
+/// usage error (nullopt; the caller exits 2), never a warning.
 struct Options {
   std::size_t faults = 2000;
   std::size_t injections = 300;
@@ -79,36 +107,96 @@ struct Options {
   std::string range = "M";
   std::string tile = "random";
   unsigned jobs = 0;  ///< 0 = GPUFI_JOBS env or hardware concurrency
-  rtlfi::Acceleration accel = rtlfi::Acceleration::CheckpointEarlyExit;
+  std::string accel = "full";
+  // serve/submit/status options
+  std::string socket = serve::kDefaultSocketPath;
+  unsigned workers = 2;
+  std::size_t queue = 64;
+  int priority = 0;
+  std::uint64_t deadline_ms = 0;
 
-  static Options parse(int argc, char** argv, int first) {
+  static std::optional<Options> parse(int argc, char** argv, int first) {
     Options o;
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc; i += 2) {
       const std::string key = argv[i];
-      const std::string val = argv[i + 1];
-      if (key == "--faults") o.faults = std::strtoull(val.c_str(), nullptr, 10);
-      else if (key == "--injections")
-        o.injections = std::strtoull(val.c_str(), nullptr, 10);
-      else if (key == "--seed") o.seed = std::strtoull(val.c_str(), nullptr, 10);
-      else if (key == "--db") o.db_path = val;
-      else if (key == "--models") o.models_dir = val;
-      else if (key == "--range") o.range = val;
-      else if (key == "--tile") o.tile = val;
-      else if (key == "--jobs")
-        o.jobs = static_cast<unsigned>(std::strtoul(val.c_str(), nullptr, 10));
-      else if (key == "--accel") {
-        if (val == "none") o.accel = rtlfi::Acceleration::None;
-        else if (val == "checkpoint")
-          o.accel = rtlfi::Acceleration::Checkpoint;
-        else if (val == "full")
-          o.accel = rtlfi::Acceleration::CheckpointEarlyExit;
-        else
-          std::fprintf(stderr, "warning: unknown --accel level %s\n",
-                       val.c_str());
+      if (key.rfind("--", 0) != 0) {
+        usage_error("unexpected argument: " + key);
+        return std::nullopt;
       }
-      else std::fprintf(stderr, "warning: unknown option %s\n", key.c_str());
+      if (i + 1 >= argc) {
+        usage_error("option " + key + " requires a value");
+        return std::nullopt;
+      }
+      const std::string val = argv[i + 1];
+      std::uint64_t n = 0;
+      const auto number = [&]() -> bool {
+        if (parse_u64_strict(val, n)) return true;
+        usage_error("option " + key + " expects a number, got '" + val + "'");
+        return false;
+      };
+      if (key == "--faults") {
+        if (!number()) return std::nullopt;
+        o.faults = n;
+      } else if (key == "--injections") {
+        if (!number()) return std::nullopt;
+        o.injections = n;
+      } else if (key == "--seed") {
+        if (!number()) return std::nullopt;
+        o.seed = n;
+      } else if (key == "--jobs") {
+        if (!number()) return std::nullopt;
+        o.jobs = static_cast<unsigned>(n);
+      } else if (key == "--workers") {
+        if (!number()) return std::nullopt;
+        o.workers = static_cast<unsigned>(n);
+      } else if (key == "--queue") {
+        if (!number()) return std::nullopt;
+        o.queue = n;
+      } else if (key == "--deadline") {
+        if (!number()) return std::nullopt;
+        o.deadline_ms = n;
+      } else if (key == "--priority") {
+        if (!parse_int_strict(val, o.priority)) {
+          usage_error("option --priority expects an integer, got '" + val +
+                      "'");
+          return std::nullopt;
+        }
+      } else if (key == "--db") {
+        o.db_path = val;
+      } else if (key == "--models") {
+        o.models_dir = val;
+      } else if (key == "--socket") {
+        o.socket = val;
+      } else if (key == "--range") {
+        if (!serve::parse_range(val)) {
+          usage_error("unknown --range '" + val + "' (expected S|M|L)");
+          return std::nullopt;
+        }
+        o.range = val;
+      } else if (key == "--tile") {
+        if (!serve::parse_tile(val)) {
+          usage_error("unknown --tile '" + val +
+                      "' (expected max|zero|random)");
+          return std::nullopt;
+        }
+        o.tile = val;
+      } else if (key == "--accel") {
+        if (!serve::parse_acceleration(val)) {
+          usage_error("unknown --accel level '" + val +
+                      "' (expected none|checkpoint|full)");
+          return std::nullopt;
+        }
+        o.accel = val;
+      } else {
+        usage_error("unknown option " + key);
+        return std::nullopt;
+      }
     }
     return o;
+  }
+
+  rtlfi::Acceleration acceleration() const {
+    return *serve::parse_acceleration(accel);
   }
 };
 
@@ -151,48 +239,50 @@ int cmd_modules() {
 
 int cmd_rtl(int argc, char** argv) {
   if (argc < 4) return usage();
-  const auto op = parse_op(argv[2]);
-  const auto module = parse_module(argv[3]);
-  if (!op || !module) return usage();
-  const Options o = Options::parse(argc, argv, 4);
-  const auto range = o.range == "S"   ? rtlfi::InputRange::Small
-                     : o.range == "L" ? rtlfi::InputRange::Large
-                                      : rtlfi::InputRange::Medium;
-  const auto w = rtlfi::make_microbenchmark(*op, range, o.seed);
+  const auto op = serve::parse_opcode(argv[2]);
+  if (!op) return usage_error(std::string("unknown instruction '") + argv[2] +
+                              "'");
+  const auto module = serve::parse_module(argv[3]);
+  if (!module)
+    return usage_error(std::string("unknown module '") + argv[3] + "'");
+  const auto o = Options::parse(argc, argv, 4);
+  if (!o) return 2;
+  const auto range = *serve::parse_range(o->range);
+  const auto w = rtlfi::make_microbenchmark(*op, range, o->seed);
   rtlfi::CampaignConfig cfg;
   cfg.module = *module;
-  cfg.n_faults = o.faults;
-  cfg.seed = o.seed;
-  cfg.jobs = o.jobs;
-  cfg.acceleration = o.accel;
+  cfg.n_faults = o->faults;
+  cfg.seed = o->seed;
+  cfg.jobs = o->jobs;
+  cfg.acceleration = o->acceleration();
   cfg.progress = stderr_progress("injections");
   std::printf("== RTL campaign: %s on %s (%s inputs), %zu faults\n",
               std::string(isa::mnemonic(*op)).c_str(),
               std::string(rtl::module_name(*module)).c_str(),
-              std::string(rtlfi::range_name(range)).c_str(), o.faults);
+              std::string(rtlfi::range_name(range)).c_str(), o->faults);
   print_campaign(rtlfi::run_campaign(w, cfg));
   return 0;
 }
 
 int cmd_tmxm(int argc, char** argv) {
   if (argc < 3) return usage();
-  const auto site = parse_module(argv[2]);
-  if (!site) return usage();
-  const Options o = Options::parse(argc, argv, 3);
-  const auto kind = o.tile == "max"    ? rtlfi::TileKind::Max
-                    : o.tile == "zero" ? rtlfi::TileKind::Zero
-                                       : rtlfi::TileKind::Random;
+  const auto site = serve::parse_module(argv[2]);
+  if (!site)
+    return usage_error(std::string("unknown site '") + argv[2] + "'");
+  const auto o = Options::parse(argc, argv, 3);
+  if (!o) return 2;
+  const auto kind = *serve::parse_tile(o->tile);
   rtlfi::CampaignConfig cfg;
   cfg.module = *site;
-  cfg.n_faults = o.faults;
-  cfg.seed = o.seed;
-  cfg.jobs = o.jobs;
-  cfg.acceleration = o.accel;
+  cfg.n_faults = o->faults;
+  cfg.seed = o->seed;
+  cfg.jobs = o->jobs;
+  cfg.acceleration = o->acceleration();
   cfg.progress = stderr_progress("injections");
   std::printf("== t-MxM campaign: %s site, %s tile, %zu faults\n",
               std::string(rtl::module_name(*site)).c_str(),
-              std::string(rtlfi::tile_name(kind)).c_str(), o.faults);
-  const auto r = rtlfi::run_campaign(rtlfi::make_tmxm(kind, o.seed), cfg);
+              std::string(rtlfi::tile_name(kind)).c_str(), o->faults);
+  const auto r = rtlfi::run_campaign(rtlfi::make_tmxm(kind, o->seed), cfg);
   print_campaign(r);
   syndrome::Database db;
   db.add_tmxm_campaign(*site, 8, 8, r);
@@ -210,11 +300,12 @@ int cmd_tmxm(int argc, char** argv) {
 
 int cmd_build_db(int argc, char** argv) {
   if (argc < 3) return usage();
-  const Options o = Options::parse(argc, argv, 3);
+  const auto o = Options::parse(argc, argv, 3);
+  if (!o) return 2;
   core::RtlCharacterizationConfig cfg;
-  cfg.faults_per_campaign = o.faults;
-  cfg.jobs = o.jobs;
-  cfg.acceleration = o.accel;
+  cfg.faults_per_campaign = o->faults;
+  cfg.jobs = o->jobs;
+  cfg.acceleration = o->acceleration();
   cfg.progress = stderr_progress("campaigns");
   std::printf("building syndrome database (%zu faults/campaign)...\n",
               cfg.faults_per_campaign);
@@ -228,7 +319,8 @@ int cmd_sw(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string app_name = argv[2];
   const std::string model_name = argv[3];
-  const Options o = Options::parse(argc, argv, 4);
+  const auto o = Options::parse(argc, argv, 4);
+  if (!o) return 2;
   std::optional<apps::HpcApp> app;
   if (app_name == "mxm") app = apps::make_mxm();
   else if (app_name == "gaussian") app = apps::make_gaussian();
@@ -236,11 +328,11 @@ int cmd_sw(int argc, char** argv) {
   else if (app_name == "hotspot") app = apps::make_hotspot();
   else if (app_name == "lava") app = apps::make_lava();
   else if (app_name == "quicksort") app = apps::make_quicksort();
-  if (!app) return usage();
+  if (!app) return usage_error("unknown app '" + app_name + "'");
   swfi::Config cfg;
-  cfg.n_injections = o.injections;
-  cfg.seed = o.seed;
-  cfg.jobs = o.jobs;
+  cfg.n_injections = o->injections;
+  cfg.seed = o->seed;
+  cfg.jobs = o->jobs;
   cfg.progress = stderr_progress("injections");
   std::optional<syndrome::Database> db;
   if (model_name == "bitflip") cfg.model = swfi::FaultModel::SingleBitFlip;
@@ -249,17 +341,17 @@ int cmd_sw(int argc, char** argv) {
   else if (model_name == "syndrome") {
     cfg.model = swfi::FaultModel::RelativeError;
     core::RtlCharacterizationConfig dbcfg;
-    dbcfg.jobs = o.jobs;
+    dbcfg.jobs = o->jobs;
     dbcfg.progress = stderr_progress("campaigns");
-    db = core::ensure_syndrome_database(o.db_path, dbcfg);
+    db = core::ensure_syndrome_database(o->db_path, dbcfg);
     cfg.db = &*db;
   } else {
-    return usage();
+    return usage_error("unknown fault model '" + model_name + "'");
   }
   std::printf("== software campaign: %s under %s, %zu injections\n",
               app->app.name.c_str(),
               std::string(fault_model_name(cfg.model)).c_str(),
-              o.injections);
+              o->injections);
   const auto r = swfi::run_sw_campaign(app->app, cfg);
   std::printf("candidates %llu\nPVF        %.3f +- %.3f\nSDC %zu / masked "
               "%zu / DUE %zu\n",
@@ -272,32 +364,142 @@ int cmd_cnn(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string net_name = argv[2];
   const std::string model_name = argv[3];
-  const Options o = Options::parse(argc, argv, 4);
-  core::RtlCharacterizationConfig dbcfg;
-  dbcfg.jobs = o.jobs;
-  dbcfg.progress = stderr_progress("campaigns");
-  const auto db = core::ensure_syndrome_database(o.db_path, dbcfg);
-  const auto models = core::ensure_models(o.models_dir);
+  const auto o = Options::parse(argc, argv, 4);
+  if (!o) return 2;
   const bool lenet = net_name == "lenet";
-  if (!lenet && net_name != "yolo") return usage();
-  nn::CnnFaultModel model;
-  if (model_name == "bitflip") model = nn::CnnFaultModel::SingleBitFlip;
-  else if (model_name == "syndrome")
-    model = nn::CnnFaultModel::RelativeError;
-  else if (model_name == "tmxm") model = nn::CnnFaultModel::TiledMxM;
-  else return usage();
+  if (!lenet && net_name != "yolo")
+    return usage_error("unknown network '" + net_name + "'");
+  const auto model = serve::parse_cnn_model(model_name);
+  if (!model) return usage_error("unknown fault model '" + model_name + "'");
+  core::RtlCharacterizationConfig dbcfg;
+  dbcfg.jobs = o->jobs;
+  dbcfg.progress = stderr_progress("campaigns");
+  const auto db = core::ensure_syndrome_database(o->db_path, dbcfg);
+  const auto models = core::ensure_models(o->models_dir);
   const auto r = nn::run_cnn_campaign(
       lenet ? models.lenet : models.yololite,
-      lenet ? nn::CnnTask::Classification : nn::CnnTask::Detection, model,
-      &db, o.injections, o.seed);
+      lenet ? nn::CnnTask::Classification : nn::CnnTask::Detection, *model,
+      &db, o->injections, o->seed);
   std::printf("== %s under %s: %zu injections\n",
               lenet ? "LeNet" : "YoloLite",
-              std::string(cnn_fault_model_name(model)).c_str(),
+              std::string(cnn_fault_model_name(*model)).c_str(),
               r.injections);
   std::printf("PVF (SDC)  %.3f\ncritical   %.3f (%zu of %zu SDCs change "
               "the decision)\nmasked %zu / DUE %zu\n",
               r.pvf(), r.critical_rate(), r.critical, r.sdc, r.masked,
               r.due);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Service commands.
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_signal = 0;
+void on_signal(int) { g_signal = 1; }
+
+int cmd_serve(int argc, char** argv) {
+  const auto o = Options::parse(argc, argv, 2);
+  if (!o) return 2;
+  serve::ServerConfig cfg;
+  cfg.socket_path = o->socket;
+  cfg.workers = o->workers;
+  cfg.queue_capacity = o->queue;
+  cfg.default_deadline_ms = o->deadline_ms;
+  cfg.quiet = false;
+  serve::Server server(cfg);
+  // A worker writing to a hung-up client must get EPIPE, not die.
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  server.start();
+  while (g_signal == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Graceful drain: finish every admitted campaign, then tear down.
+  server.shutdown(/*drain=*/true);
+  return 0;
+}
+
+int cmd_submit(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string kind = argv[2];
+  serve::CampaignSpec spec;
+  int first = 0;
+  if (kind == "rtl") {
+    if (argc < 5) return usage();
+    spec.kind = serve::CampaignKind::Rtl;
+    spec.op = argv[3];
+    spec.module = argv[4];
+    first = 5;
+  } else if (kind == "tmxm") {
+    if (argc < 4) return usage();
+    spec.kind = serve::CampaignKind::Tmxm;
+    spec.module = argv[3];
+    first = 4;
+  } else if (kind == "sw") {
+    if (argc < 5) return usage();
+    spec.kind = serve::CampaignKind::Sw;
+    spec.app = argv[3];
+    spec.model = argv[4];
+    first = 5;
+  } else if (kind == "cnn") {
+    if (argc < 5) return usage();
+    spec.kind = serve::CampaignKind::Cnn;
+    spec.net = argv[3];
+    spec.model = argv[4];
+    first = 5;
+  } else {
+    return usage_error("unknown campaign kind '" + kind + "'");
+  }
+  const auto o = Options::parse(argc, argv, first);
+  if (!o) return 2;
+  spec.range = o->range;
+  spec.tile = o->tile;
+  spec.faults = o->faults;
+  spec.injections = o->injections;
+  spec.seed = o->seed;
+  spec.jobs = o->jobs == 0 ? 1 : o->jobs;  // served default: one core each
+  spec.accel = o->accel;
+  spec.db_path = o->db_path;
+  spec.models_dir = o->models_dir;
+  spec.priority = o->priority;
+  spec.deadline_ms = o->deadline_ms;
+  if (const auto err = serve::validate_spec(spec)) return usage_error(*err);
+
+  const auto outcome = serve::submit_campaign(
+      o->socket, spec, [](const exec::Progress& p) {
+        std::fprintf(stderr, "\r  %zu/%zu trials (%.1f/s, ETA %.0fs)   ",
+                     p.done, p.total, p.per_second, p.eta_seconds);
+        if (p.done == p.total) std::fputc('\n', stderr);
+        std::fflush(stderr);
+      });
+  if (!outcome.ok) {
+    std::fprintf(stderr, "error: %s\n", outcome.error.c_str());
+    return 1;
+  }
+  std::fwrite(outcome.result.data(), 1, outcome.result.size(), stdout);
+  return 0;
+}
+
+int cmd_status(int argc, char** argv) {
+  const auto o = Options::parse(argc, argv, 2);
+  if (!o) return 2;
+  std::string error;
+  const auto s = serve::query_stats(o->socket, &error);
+  if (!s) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("accepted   %zu\ncompleted  %zu\nfailed     %zu\n"
+              "cancelled  %zu\nrejected   %zu\nactive     %zu\n"
+              "queued     %zu/%zu\nworkers    %zu\n",
+              s->accepted, s->completed, s->failed, s->cancelled,
+              s->rejected, s->active, s->queued, s->queue_capacity,
+              s->workers);
+  std::printf("db cache     %zu hits / %zu misses\n", s->db_cache.hits,
+              s->db_cache.misses);
+  std::printf("golden cache %zu hits / %zu misses\n", s->golden_cache.hits,
+              s->golden_cache.misses);
   return 0;
 }
 
@@ -313,9 +515,12 @@ int main(int argc, char** argv) {
     if (cmd == "build-db") return cmd_build_db(argc, argv);
     if (cmd == "sw") return cmd_sw(argc, argv);
     if (cmd == "cnn") return cmd_cnn(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "submit") return cmd_submit(argc, argv);
+    if (cmd == "status") return cmd_status(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
+  return usage_error("unknown command '" + cmd + "'");
 }

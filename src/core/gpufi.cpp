@@ -1,6 +1,9 @@
 #include "core/gpufi.hpp"
 
+#include <unistd.h>
+
 #include <filesystem>
+#include <stdexcept>
 
 #include "rtlfi/campaign.hpp"
 #include "rtlfi/microbench.hpp"
@@ -96,6 +99,7 @@ syndrome::Database build_syndrome_database(
       cc.seed = rng_derive(cfg.seed, i, 0);
       cc.jobs = 1;
       cc.acceleration = cfg.acceleration;
+      cc.cancel = cfg.cancel;
       results[i] = rtlfi::run_campaign(w, cc);
       return;
     }
@@ -109,10 +113,13 @@ syndrome::Database build_syndrome_database(
       cc.seed = rng_derive(cfg.seed, i, v + 1);
       cc.jobs = 1;
       cc.acceleration = cfg.acceleration;
+      cc.cancel = cfg.cancel;
       merged.merge(rtlfi::run_campaign(w, cc));
     }
     results[i] = std::move(merged);
-  });
+  }, cfg.cancel);
+  if (cfg.cancel && cfg.cancel->stopped())
+    throw std::runtime_error("syndrome database build cancelled");
 
   // Ingest in grid order: the database contents (and serialized bytes) are
   // independent of how the campaigns were scheduled.
@@ -134,7 +141,11 @@ syndrome::Database ensure_syndrome_database(
   syndrome::Database db = build_syndrome_database(cfg);
   const auto dir = std::filesystem::path(path).parent_path();
   if (!dir.empty()) std::filesystem::create_directories(dir);
-  db.save_file(path);
+  // Write-then-rename so a concurrent builder (e.g. two serve workers racing
+  // on a cold cache) can never expose a torn half-written database file.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  db.save_file(tmp);
+  std::filesystem::rename(tmp, path);
   return db;
 }
 

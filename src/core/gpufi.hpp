@@ -26,6 +26,10 @@ struct RtlCharacterizationConfig {
   rtlfi::Acceleration acceleration = rtlfi::Acceleration::CheckpointEarlyExit;
   /// Optional telemetry (campaigns finished, campaigns/sec, ETA).
   exec::ProgressFn progress;
+  /// Optional cooperative stop flag. A cancelled build throws (a partial
+  /// characterization must never be mistaken for — or saved as — the real
+  /// database).
+  const exec::CancelToken* cancel = nullptr;
 
   /// The paper's published campaign scale (Sec. V-B).
   static RtlCharacterizationConfig paper_scale() {

@@ -5,6 +5,40 @@
 
 namespace gpufi::exec {
 
+namespace {
+
+std::int64_t steady_ns(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void CancelToken::set_deadline(std::chrono::steady_clock::time_point t) noexcept {
+  // 0 means "unarmed", so a deadline that lands exactly on the epoch is
+  // nudged forward one tick — indistinguishable in practice.
+  const std::int64_t ns = steady_ns(t);
+  deadline_ns_.store(ns == 0 ? 1 : ns, std::memory_order_relaxed);
+}
+
+void CancelToken::set_deadline_after(std::chrono::nanoseconds budget) noexcept {
+  set_deadline(std::chrono::steady_clock::now() + budget);
+}
+
+bool CancelToken::expired() const noexcept {
+  const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+  if (d == 0) return false;
+  return steady_ns(std::chrono::steady_clock::now()) >= d;
+}
+
+unsigned resolve_jobs(unsigned jobs, std::size_t n_units) {
+  if (jobs == 0) jobs = ThreadPool::default_jobs();
+  if (n_units == 0) return 1;
+  return static_cast<unsigned>(
+      std::min<std::size_t>(jobs, n_units));
+}
+
 std::size_t chunk_size(std::size_t n_trials) {
   // Roughly 64 chunks per campaign so any realistic worker count load-balances
   // well, floored at 16 trials so per-chunk context setup (e.g. constructing
@@ -66,11 +100,13 @@ void ProgressMeter::add(std::size_t n) {
 }  // namespace detail
 
 void run_indexed(std::size_t n, unsigned jobs, const ProgressFn& progress,
-                 const std::function<void(std::size_t)>& task) {
+                 const std::function<void(std::size_t)>& task,
+                 const CancelToken* cancel) {
   if (n == 0) return;
   detail::ProgressMeter meter(n, progress);
-  ThreadPool pool(jobs);
+  ThreadPool pool(resolve_jobs(jobs, n));
   pool.run(n, [&](std::size_t i) {
+    if (cancel && cancel->stopped()) return;
     task(i);
     meter.add(1);
   });

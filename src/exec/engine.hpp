@@ -1,6 +1,8 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -10,6 +12,35 @@
 #include "common/thread_pool.hpp"
 
 namespace gpufi::exec {
+
+/// Cooperative stop flag threaded through the campaign loops: `cancel()` (or
+/// an expired deadline) makes `run_trials`/`run_indexed` skip every trial not
+/// yet started and return the partial merge. Cancellation never tears a trial
+/// mid-flight — completed trials are still byte-identical to an uncancelled
+/// run's prefix. Safe to signal from any thread (e.g. a server noticing a
+/// client disconnect) while a campaign is running.
+class CancelToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms (or re-arms) an absolute deadline; trials started after it passes
+  /// are skipped exactly like an explicit cancel().
+  void set_deadline(std::chrono::steady_clock::time_point t) noexcept;
+  /// Convenience: deadline `budget` from now.
+  void set_deadline_after(std::chrono::nanoseconds budget) noexcept;
+  bool expired() const noexcept;
+
+  /// True once the token should stop work (cancelled or past deadline).
+  bool stopped() const noexcept { return cancelled() || expired(); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// Deadline as steady-clock nanoseconds-since-epoch; 0 = unarmed.
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
 
 /// Snapshot handed to the progress callback while a trial batch runs.
 struct Progress {
@@ -32,7 +63,16 @@ struct EngineConfig {
   /// environment variable, else the hardware concurrency).
   unsigned jobs = 0;
   ProgressFn progress;  ///< optional
+  /// Optional cooperative stop flag: once `stopped()`, no further trial
+  /// starts and run_trials returns the merge of the trials already done.
+  const CancelToken* cancel = nullptr;
 };
+
+/// Resolves the user-facing jobs knob against the batch width: 0 becomes
+/// ThreadPool::default_jobs(), and the result is clamped to `n_units` so a
+/// wide pool is never spun up for a narrow batch (jobs > trials spawns no
+/// idle threads).
+unsigned resolve_jobs(unsigned jobs, std::size_t n_units);
 
 /// Trials are executed in contiguous index chunks; the chunk size is a
 /// function of the trial count ONLY (never of `jobs`), so per-chunk worker
@@ -74,6 +114,11 @@ class ProgressMeter {
 /// counters commutatively and appending records in call order.
 /// MakeContext: Context() — per-chunk worker state (simulator instance, ...).
 /// Trial: void(Context&, std::size_t trial_index, Rng&, Result& shard).
+///
+/// Cancellation (`cfg.cancel`) is checked before each chunk and each trial;
+/// a stopped token makes the remaining trials no-ops, so the returned Result
+/// is the merge of a prefix-closed-per-chunk subset of trials. Callers that
+/// care must test the token afterwards — a partial result is not flagged.
 template <class Result, class MakeContext, class Trial>
 Result run_trials(const EngineConfig& cfg, MakeContext&& make_context,
                   Trial&& trial) {
@@ -84,17 +129,22 @@ Result run_trials(const EngineConfig& cfg, MakeContext&& make_context,
   const std::size_t n_chunks = (n + chunk - 1) / chunk;
   std::vector<Result> shards(n_chunks);
   detail::ProgressMeter meter(n, cfg.progress);
-  ThreadPool pool(cfg.jobs);
+  const CancelToken* cancel = cfg.cancel;
+  ThreadPool pool(resolve_jobs(cfg.jobs, n_chunks));
   pool.run(n_chunks, [&](std::size_t c) {
+    if (cancel && cancel->stopped()) return;
     auto context = make_context();
     Result& shard = shards[c];
     const std::size_t lo = c * chunk;
     const std::size_t hi = std::min(n, lo + chunk);
+    std::size_t done = 0;
     for (std::size_t i = lo; i < hi; ++i) {
+      if (cancel && cancel->stopped()) break;
       Rng rng(rng_derive(cfg.seed, i));
       trial(context, i, rng, shard);
+      ++done;
     }
-    meter.add(hi - lo);
+    meter.add(done);
   });
   for (auto& shard : shards) merged.merge(shard);
   return merged;
@@ -103,8 +153,10 @@ Result run_trials(const EngineConfig& cfg, MakeContext&& make_context,
 /// Index-addressed fan-out for heterogeneous work (e.g. one task per RTL
 /// characterization campaign): runs task(i) for i in [0, n) on `jobs`
 /// workers and reports progress per finished task. Results should be written
-/// to pre-sized slots so completion order cannot leak into the output.
+/// to pre-sized slots so completion order cannot leak into the output. A
+/// stopped `cancel` token skips every task not yet started.
 void run_indexed(std::size_t n, unsigned jobs, const ProgressFn& progress,
-                 const std::function<void(std::size_t)>& task);
+                 const std::function<void(std::size_t)>& task,
+                 const CancelToken* cancel = nullptr);
 
 }  // namespace gpufi::exec

@@ -200,13 +200,10 @@ void run_one_fault(rtl::Sm& sm, const Workload& w, const CampaignConfig& cfg,
 
 }  // namespace
 
-CampaignResult run_campaign(const Workload& w, const CampaignConfig& cfg) {
-  const auto& layout = rtl::layouts().of(cfg.module);
-  if (layout.bits() == 0) throw std::logic_error("empty module layout");
+GoldenContext prepare_golden(const Workload& w, const CampaignConfig& cfg) {
+  GoldenContext golden;
 
   // Golden run: reference output and fault-window size.
-  std::uint64_t golden_cycles = 0;
-  std::vector<std::uint32_t> golden_out;
   {
     rtl::Sm sm;
     w.setup(sm);
@@ -214,52 +211,71 @@ CampaignResult run_campaign(const Workload& w, const CampaignConfig& cfg) {
     if (golden_run.status != rtl::RunStatus::Ok)
       throw std::runtime_error("golden RTL run failed (" +
                                golden_run.trap_reason + ") for " + w.name);
-    golden_cycles = golden_run.cycles;
-    golden_out = read_out(sm, w.out_base, w.out_words);
+    golden.golden_cycles = golden_run.cycles;
+    golden.golden_out = read_out(sm, w.out_base, w.out_words);
   }
-  const std::uint64_t watchdog =
-      golden_cycles * cfg.watchdog_factor + cfg.watchdog_slack;
 
   // Accelerated modes re-run the golden workload once more with tracing on,
   // building the checkpoint ladder and digest timeline every trial shares
-  // read-only. The ladder is built once per campaign (not per worker), so
-  // results stay jobs-count invariant by construction.
-  std::shared_ptr<rtl::GoldenTrace> trace;
-  const bool early_exit = cfg.acceleration == Acceleration::CheckpointEarlyExit;
-  const std::uint64_t check_interval = cfg.convergence_check_interval != 0
-                                           ? cfg.convergence_check_interval
-                                           : 16;
+  // read-only. The ladder is built once per context (not per worker, not per
+  // campaign when a cache shares the context), so results stay jobs-count
+  // and sharing invariant by construction.
   if (cfg.acceleration != Acceleration::None) {
     const std::uint64_t rung_interval =
         cfg.checkpoint_interval != 0
             ? cfg.checkpoint_interval
-            : std::max<std::uint64_t>(1, golden_cycles / 24);
-    trace = std::make_shared<rtl::GoldenTrace>();
+            : std::max<std::uint64_t>(1, golden.golden_cycles / 24);
+    auto trace = std::make_shared<rtl::GoldenTrace>();
     rtl::Sm sm;
     w.setup(sm);
     const auto traced = sm.run_traced(w.program, w.dims, *trace,
                                       rung_interval);
     if (traced.status != rtl::RunStatus::Ok ||
-        traced.cycles != golden_cycles)
+        traced.cycles != golden.golden_cycles)
       throw std::runtime_error("traced golden run diverged from plain golden "
                                "run for " + w.name);
+    golden.trace = std::move(trace);
   }
+  return golden;
+}
+
+CampaignResult run_campaign(const Workload& w, const CampaignConfig& cfg,
+                            const GoldenContext& golden) {
+  const auto& layout = rtl::layouts().of(cfg.module);
+  if (layout.bits() == 0) throw std::logic_error("empty module layout");
+  if (cfg.acceleration != Acceleration::None && !golden.trace)
+    throw std::logic_error("accelerated campaign needs a traced golden "
+                           "context for " + w.name);
+
+  const std::uint64_t watchdog =
+      golden.golden_cycles * cfg.watchdog_factor + cfg.watchdog_slack;
+  const bool early_exit = cfg.acceleration == Acceleration::CheckpointEarlyExit;
+  const std::uint64_t check_interval = cfg.convergence_check_interval != 0
+                                           ? cfg.convergence_check_interval
+                                           : 16;
+  const rtl::GoldenTrace* trace =
+      cfg.acceleration != Acceleration::None ? golden.trace.get() : nullptr;
 
   exec::EngineConfig ec;
   ec.n_trials = cfg.n_faults;
   ec.seed = cfg.seed;
   ec.jobs = cfg.jobs;
   ec.progress = cfg.progress;
+  ec.cancel = cfg.cancel;
   CampaignResult result = exec::run_trials<CampaignResult>(
       ec, [] { return std::make_unique<rtl::Sm>(); },
       [&](std::unique_ptr<rtl::Sm>& sm, std::size_t, Rng& rng,
           CampaignResult& shard) {
-        run_one_fault(*sm, w, cfg, layout, golden_out, golden_cycles,
-                      watchdog, trace.get(), early_exit, check_interval, rng,
-                      shard);
+        run_one_fault(*sm, w, cfg, layout, golden.golden_out,
+                      golden.golden_cycles, watchdog, trace, early_exit,
+                      check_interval, rng, shard);
       });
-  result.golden_cycles = golden_cycles;
+  result.golden_cycles = golden.golden_cycles;
   return result;
+}
+
+CampaignResult run_campaign(const Workload& w, const CampaignConfig& cfg) {
+  return run_campaign(w, cfg, prepare_golden(w, cfg));
 }
 
 }  // namespace gpufi::rtlfi

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -106,7 +107,32 @@ struct CampaignConfig {
   std::uint64_t convergence_check_interval = 0;
   /// Optional telemetry callback (injections done, injections/sec, ETA).
   exec::ProgressFn progress;
+  /// Optional cooperative stop flag (see exec::CancelToken): a stopped token
+  /// aborts the trial loop early; the partial result must then be discarded
+  /// by the caller (it is a valid prefix merge, not the full campaign).
+  const exec::CancelToken* cancel = nullptr;
 };
+
+/// The reusable fault-free half of a campaign: golden cycle count and
+/// reference output, plus (for accelerated modes) the checkpoint ladder and
+/// digest timeline. Everything here is a pure function of the Workload and
+/// the acceleration geometry (`acceleration` != None, `checkpoint_interval`)
+/// — independent of seed, fault count, jobs and watchdog — so one context
+/// can be computed once and shared read-only by any number of concurrent
+/// campaigns over the same workload (the serve-mode golden cache does
+/// exactly that).
+struct GoldenContext {
+  std::uint64_t golden_cycles = 0;
+  std::vector<std::uint32_t> golden_out;
+  /// Checkpoint ladder + digest timeline; null when prepared with
+  /// Acceleration::None.
+  std::shared_ptr<const rtl::GoldenTrace> trace;
+};
+
+/// Runs the golden (and, for accelerated modes, traced-golden) executions of
+/// `w` and returns the shareable context. Throws if the golden run fails or
+/// the traced replay diverges from it.
+GoldenContext prepare_golden(const Workload& w, const CampaignConfig& cfg);
 
 /// General report of one campaign (the per-module/per-instruction AVF data
 /// behind Fig. 4 and Fig. 7).
@@ -156,6 +182,14 @@ struct CampaignResult {
 /// and provides the reference output, then `n_faults` uniformly random
 /// (flip-flop bit, cycle) transients are injected one per run.
 CampaignResult run_campaign(const Workload& w, const CampaignConfig& cfg);
+
+/// Same campaign, but fast-forwarding from an already-prepared golden
+/// context (see prepare_golden). `golden` must have been prepared with a
+/// compatible acceleration geometry: accelerated configs require
+/// golden.trace. Byte-identical to the single-argument overload — sharing
+/// the context across campaigns cannot change any result.
+CampaignResult run_campaign(const Workload& w, const CampaignConfig& cfg,
+                            const GoldenContext& golden);
 
 /// Classifies a single faulty run against golden output (exposed for tests).
 Outcome classify(rtl::RunStatus status,

@@ -1,0 +1,24 @@
+#include "serve/cache.hpp"
+
+#include "core/gpufi.hpp"
+
+namespace gpufi::serve {
+
+std::shared_ptr<const syndrome::Database> Caches::syndrome_db(
+    const std::string& path, unsigned jobs) {
+  return dbs_.get_or_compute(path, [&] {
+    core::RtlCharacterizationConfig cfg;
+    cfg.jobs = jobs;
+    // Deliberately no cancel token: the build is shared by (and cached for)
+    // every future request, so one impatient client must not abort it.
+    return core::ensure_syndrome_database(path, cfg);
+  });
+}
+
+std::shared_ptr<const rtlfi::GoldenContext> Caches::golden(
+    const std::string& key,
+    const std::function<rtlfi::GoldenContext()>& make) {
+  return goldens_.get_or_compute(key, make);
+}
+
+}  // namespace gpufi::serve

@@ -1,0 +1,100 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gpufi::serve {
+
+int connect_socket(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    errno = ENAMETOOLONG;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+SubmitOutcome submit_campaign(
+    const std::string& socket_path, const CampaignSpec& spec,
+    const std::function<void(const exec::Progress&)>& on_progress) {
+  SubmitOutcome out;
+  const int fd = connect_socket(socket_path);
+  if (fd < 0) {
+    out.error = "connect(" + socket_path + "): " + std::strerror(errno);
+    return out;
+  }
+  if (!write_frame(fd, {FrameType::Submit, encode_spec(spec)})) {
+    out.error = "failed to send the campaign spec";
+    ::close(fd);
+    return out;
+  }
+  for (;;) {
+    Frame f;
+    const ReadStatus st = read_frame(fd, f);
+    if (st != ReadStatus::Ok) {
+      out.error = st == ReadStatus::Eof
+                      ? "server closed the connection without a result"
+                      : "transport error while waiting for the result";
+      break;
+    }
+    if (f.type == FrameType::Progress) {
+      ++out.progress_frames;
+      if (on_progress) {
+        if (const auto p = decode_progress(f.payload)) on_progress(*p);
+      }
+      continue;
+    }
+    if (f.type == FrameType::Result) {
+      out.ok = true;
+      out.result = std::move(f.payload);
+    } else {
+      out.error = f.type == FrameType::Error
+                      ? std::move(f.payload)
+                      : "unexpected frame type from server";
+    }
+    break;
+  }
+  ::close(fd);
+  return out;
+}
+
+std::optional<ServerStats> query_stats(const std::string& socket_path,
+                                       std::string* error) {
+  const auto fail = [&](std::string msg) -> std::optional<ServerStats> {
+    if (error) *error = std::move(msg);
+    return std::nullopt;
+  };
+  const int fd = connect_socket(socket_path);
+  if (fd < 0)
+    return fail("connect(" + socket_path + "): " + std::strerror(errno));
+  if (!write_frame(fd, {FrameType::Status, ""})) {
+    ::close(fd);
+    return fail("failed to send the status request");
+  }
+  Frame f;
+  const ReadStatus st = read_frame(fd, f);
+  ::close(fd);
+  if (st != ReadStatus::Ok) return fail("no stats reply from server");
+  if (f.type == FrameType::Error) return fail(std::move(f.payload));
+  if (f.type != FrameType::Stats) return fail("unexpected reply frame type");
+  auto stats = decode_stats(f.payload);
+  if (!stats) return fail("malformed stats payload");
+  return stats;
+}
+
+}  // namespace gpufi::serve

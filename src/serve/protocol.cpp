@@ -1,0 +1,540 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "syndrome/syndrome.hpp"
+
+namespace gpufi::serve {
+
+namespace {
+
+void put_u32_le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32_le(const char* p) {
+  const auto b = [&](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+/// Appends one "key=value\n" line; values must be newline-free.
+void put_kv(std::string& out, std::string_view key, std::string_view value) {
+  if (value.find('\n') != std::string_view::npos)
+    throw std::invalid_argument("newline in protocol value for key '" +
+                                std::string(key) + "'");
+  out.append(key);
+  out.push_back('=');
+  out.append(value);
+  out.push_back('\n');
+}
+
+void put_kv(std::string& out, std::string_view key, std::uint64_t value) {
+  put_kv(out, key, std::to_string(value));
+}
+
+/// Lossless double formatting (round-trips bit-exactly through strtod).
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return os.str();
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const std::string buf(s);
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  if (!buf.empty() && buf[0] == '-') return false;
+  out = v;
+  return true;
+}
+
+bool parse_i64(std::string_view s, std::int64_t& out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const std::string buf(s);
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  out = v;
+  return true;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const std::string buf(s);
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  out = v;
+  return true;
+}
+
+/// Iterates "key=value\n" lines; returns false (with `error`) on a malformed
+/// line or when `fn` rejects a key/value pair.
+bool for_each_kv(std::string_view payload, std::string* error,
+                 const std::function<bool(std::string_view, std::string_view,
+                                          std::string*)>& fn) {
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t eol = payload.find('\n', pos);
+    if (eol == std::string_view::npos) eol = payload.size();
+    const std::string_view line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      if (error) *error = "malformed line (no '='): " + std::string(line);
+      return false;
+    }
+    if (!fn(line.substr(0, eq), line.substr(eq + 1), error)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool frame_type_valid(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::Submit) &&
+         t <= static_cast<std::uint8_t>(FrameType::Stats);
+}
+
+std::string encode_frame(const Frame& f) {
+  if (f.payload.size() > kMaxFramePayload)
+    throw std::length_error("frame payload exceeds kMaxFramePayload");
+  std::string out;
+  out.reserve(kFrameHeaderSize + f.payload.size());
+  put_u32_le(out, static_cast<std::uint32_t>(f.payload.size()));
+  out.push_back(static_cast<char>(f.type));
+  out.append(f.payload);
+  return out;
+}
+
+DecodeStatus decode_frame(std::string_view buf, Frame& out,
+                          std::size_t& consumed, std::size_t max_payload) {
+  if (buf.size() < kFrameHeaderSize) return DecodeStatus::NeedMore;
+  const std::uint32_t len = get_u32_le(buf.data());
+  if (len > max_payload) return DecodeStatus::TooLarge;
+  const auto type = static_cast<std::uint8_t>(buf[4]);
+  if (!frame_type_valid(type)) return DecodeStatus::BadType;
+  if (buf.size() < kFrameHeaderSize + len) return DecodeStatus::NeedMore;
+  out.type = static_cast<FrameType>(type);
+  out.payload.assign(buf.data() + kFrameHeaderSize, len);
+  consumed = kFrameHeaderSize + len;
+  return DecodeStatus::Ok;
+}
+
+bool write_frame(int fd, const Frame& f) {
+  std::string wire;
+  try {
+    wire = encode_frame(f);
+  } catch (const std::exception&) {
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + off, wire.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+namespace {
+
+/// Reads exactly `len` bytes. 1 = ok, 0 = clean EOF at offset 0, -1 = error.
+int read_exact(int fd, char* dst, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::recv(fd, dst + off, len - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return off == 0 ? 0 : -1;
+    off += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+ReadStatus read_frame(int fd, Frame& out, std::size_t max_payload) {
+  char header[kFrameHeaderSize];
+  const int h = read_exact(fd, header, sizeof header);
+  if (h == 0) return ReadStatus::Eof;
+  if (h < 0) return ReadStatus::Error;
+  const std::uint32_t len = get_u32_le(header);
+  if (len > max_payload) return ReadStatus::TooLarge;
+  const auto type = static_cast<std::uint8_t>(header[4]);
+  if (!frame_type_valid(type)) return ReadStatus::BadType;
+  out.type = static_cast<FrameType>(type);
+  out.payload.resize(len);
+  if (len != 0 && read_exact(fd, out.payload.data(), len) != 1)
+    return ReadStatus::Error;
+  return ReadStatus::Ok;
+}
+
+// ---------------------------------------------------------------------------
+// Campaign spec.
+// ---------------------------------------------------------------------------
+
+std::string_view campaign_kind_name(CampaignKind k) {
+  switch (k) {
+    case CampaignKind::Rtl: return "rtl";
+    case CampaignKind::Tmxm: return "tmxm";
+    case CampaignKind::Sw: return "sw";
+    case CampaignKind::Cnn: return "cnn";
+  }
+  return "?";
+}
+
+std::optional<CampaignKind> parse_campaign_kind(std::string_view s) {
+  if (s == "rtl") return CampaignKind::Rtl;
+  if (s == "tmxm") return CampaignKind::Tmxm;
+  if (s == "sw") return CampaignKind::Sw;
+  if (s == "cnn") return CampaignKind::Cnn;
+  return std::nullopt;
+}
+
+std::string encode_spec(const CampaignSpec& spec) {
+  std::string out;
+  put_kv(out, "kind", campaign_kind_name(spec.kind));
+  put_kv(out, "op", spec.op);
+  put_kv(out, "module", spec.module);
+  put_kv(out, "range", spec.range);
+  put_kv(out, "tile", spec.tile);
+  put_kv(out, "app", spec.app);
+  put_kv(out, "model", spec.model);
+  put_kv(out, "net", spec.net);
+  put_kv(out, "faults", spec.faults);
+  put_kv(out, "injections", spec.injections);
+  put_kv(out, "seed", spec.seed);
+  put_kv(out, "jobs", spec.jobs);
+  put_kv(out, "accel", spec.accel);
+  put_kv(out, "db", spec.db_path);
+  put_kv(out, "models", spec.models_dir);
+  put_kv(out, "priority", std::to_string(spec.priority));
+  put_kv(out, "deadline_ms", spec.deadline_ms);
+  return out;
+}
+
+std::optional<CampaignSpec> decode_spec(std::string_view payload,
+                                        std::string* error) {
+  CampaignSpec spec;
+  const bool ok = for_each_kv(
+      payload, error,
+      [&](std::string_view key, std::string_view value, std::string* err) {
+        const auto fail = [&](const std::string& msg) {
+          if (err) *err = msg;
+          return false;
+        };
+        const auto number = [&](std::uint64_t& dst) {
+          std::uint64_t v = 0;
+          if (!parse_u64(value, v))
+            return fail("bad number for '" + std::string(key) +
+                        "': " + std::string(value));
+          dst = v;
+          return true;
+        };
+        if (key == "kind") {
+          const auto k = parse_campaign_kind(value);
+          if (!k) return fail("unknown kind: " + std::string(value));
+          spec.kind = *k;
+          return true;
+        }
+        if (key == "op") { spec.op = value; return true; }
+        if (key == "module") { spec.module = value; return true; }
+        if (key == "range") { spec.range = value; return true; }
+        if (key == "tile") { spec.tile = value; return true; }
+        if (key == "app") { spec.app = value; return true; }
+        if (key == "model") { spec.model = value; return true; }
+        if (key == "net") { spec.net = value; return true; }
+        if (key == "accel") { spec.accel = value; return true; }
+        if (key == "db") { spec.db_path = value; return true; }
+        if (key == "models") { spec.models_dir = value; return true; }
+        if (key == "faults") {
+          std::uint64_t v;
+          if (!number(v)) return false;
+          spec.faults = v;
+          return true;
+        }
+        if (key == "injections") {
+          std::uint64_t v;
+          if (!number(v)) return false;
+          spec.injections = v;
+          return true;
+        }
+        if (key == "seed") return number(spec.seed);
+        if (key == "jobs") {
+          std::uint64_t v;
+          if (!number(v)) return false;
+          spec.jobs = static_cast<unsigned>(v);
+          return true;
+        }
+        if (key == "priority") {
+          std::int64_t v;
+          if (!parse_i64(value, v))
+            return fail("bad number for 'priority': " + std::string(value));
+          spec.priority = static_cast<int>(v);
+          return true;
+        }
+        if (key == "deadline_ms") return number(spec.deadline_ms);
+        return fail("unknown spec key: " + std::string(key));
+      });
+  if (!ok) return std::nullopt;
+  if (const auto err = validate_spec(spec)) {
+    if (error) *error = *err;
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::optional<std::string> validate_spec(const CampaignSpec& spec) {
+  if (!parse_acceleration(spec.accel))
+    return "unknown accel level: " + spec.accel;
+  switch (spec.kind) {
+    case CampaignKind::Rtl:
+      if (!parse_opcode(spec.op)) return "unknown opcode: " + spec.op;
+      if (!parse_module(spec.module))
+        return "unknown module: " + spec.module;
+      if (!parse_range(spec.range)) return "unknown range: " + spec.range;
+      break;
+    case CampaignKind::Tmxm:
+      if (!parse_module(spec.module)) return "unknown site: " + spec.module;
+      if (!parse_tile(spec.tile)) return "unknown tile: " + spec.tile;
+      break;
+    case CampaignKind::Sw:
+      if (!is_known_app(spec.app)) return "unknown app: " + spec.app;
+      if (!parse_sw_model(spec.model))
+        return "unknown sw fault model: " + spec.model;
+      break;
+    case CampaignKind::Cnn:
+      if (spec.net != "lenet" && spec.net != "yolo")
+        return "unknown net: " + spec.net;
+      if (!parse_cnn_model(spec.model))
+        return "unknown cnn fault model: " + spec.model;
+      break;
+  }
+  return std::nullopt;
+}
+
+bool is_known_app(std::string_view s) {
+  return s == "mxm" || s == "gaussian" || s == "lud" || s == "hotspot" ||
+         s == "lava" || s == "quicksort";
+}
+
+std::optional<isa::Opcode> parse_opcode(std::string_view s) {
+  for (unsigned i = 0; i < isa::kNumOpcodes; ++i) {
+    const auto op = static_cast<isa::Opcode>(i);
+    if (s == isa::mnemonic(op) && isa::is_characterized(op)) return op;
+  }
+  return std::nullopt;
+}
+
+std::optional<rtl::Module> parse_module(std::string_view s) {
+  if (s == "fp32") return rtl::Module::Fp32Fu;
+  if (s == "int") return rtl::Module::IntFu;
+  if (s == "sfu") return rtl::Module::Sfu;
+  if (s == "sfuctl") return rtl::Module::SfuCtl;
+  if (s == "sched") return rtl::Module::Scheduler;
+  if (s == "pipe") return rtl::Module::PipelineRegs;
+  return std::nullopt;
+}
+
+std::optional<rtlfi::InputRange> parse_range(std::string_view s) {
+  if (s == "S") return rtlfi::InputRange::Small;
+  if (s == "M") return rtlfi::InputRange::Medium;
+  if (s == "L") return rtlfi::InputRange::Large;
+  return std::nullopt;
+}
+
+std::optional<rtlfi::TileKind> parse_tile(std::string_view s) {
+  if (s == "max") return rtlfi::TileKind::Max;
+  if (s == "zero") return rtlfi::TileKind::Zero;
+  if (s == "random") return rtlfi::TileKind::Random;
+  return std::nullopt;
+}
+
+std::optional<rtlfi::Acceleration> parse_acceleration(std::string_view s) {
+  if (s == "none") return rtlfi::Acceleration::None;
+  if (s == "checkpoint") return rtlfi::Acceleration::Checkpoint;
+  if (s == "full") return rtlfi::Acceleration::CheckpointEarlyExit;
+  return std::nullopt;
+}
+
+std::optional<swfi::FaultModel> parse_sw_model(std::string_view s) {
+  if (s == "bitflip") return swfi::FaultModel::SingleBitFlip;
+  if (s == "doublebit") return swfi::FaultModel::DoubleBitFlip;
+  if (s == "syndrome") return swfi::FaultModel::RelativeError;
+  return std::nullopt;
+}
+
+std::optional<nn::CnnFaultModel> parse_cnn_model(std::string_view s) {
+  if (s == "bitflip") return nn::CnnFaultModel::SingleBitFlip;
+  if (s == "syndrome") return nn::CnnFaultModel::RelativeError;
+  if (s == "tmxm") return nn::CnnFaultModel::TiledMxM;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Progress payload.
+// ---------------------------------------------------------------------------
+
+std::string encode_progress(const exec::Progress& p) {
+  std::string out;
+  put_kv(out, "done", p.done);
+  put_kv(out, "total", p.total);
+  put_kv(out, "per_second", fmt_double(p.per_second));
+  put_kv(out, "eta_seconds", fmt_double(p.eta_seconds));
+  return out;
+}
+
+std::optional<exec::Progress> decode_progress(std::string_view payload) {
+  exec::Progress p;
+  const bool ok = for_each_kv(
+      payload, nullptr,
+      [&](std::string_view key, std::string_view value, std::string*) {
+        std::uint64_t u = 0;
+        double d = 0.0;
+        if (key == "done" && parse_u64(value, u)) { p.done = u; return true; }
+        if (key == "total" && parse_u64(value, u)) {
+          p.total = u;
+          return true;
+        }
+        if (key == "per_second" && parse_double(value, d)) {
+          p.per_second = d;
+          return true;
+        }
+        if (key == "eta_seconds" && parse_double(value, d)) {
+          p.eta_seconds = d;
+          return true;
+        }
+        return false;
+      });
+  if (!ok) return std::nullopt;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Result serializations.
+// ---------------------------------------------------------------------------
+
+std::string serialize_campaign_result(const CampaignSpec& spec,
+                                      const rtlfi::CampaignResult& r) {
+  std::string out;
+  put_kv(out, "kind", campaign_kind_name(spec.kind));
+  put_kv(out, "injected", r.injected);
+  put_kv(out, "masked", r.masked);
+  put_kv(out, "sdc_single", r.sdc_single);
+  put_kv(out, "sdc_multi", r.sdc_multi);
+  put_kv(out, "due", r.due);
+  put_kv(out, "golden_cycles", r.golden_cycles);
+  put_kv(out, "converged_early", r.converged_early);
+  put_kv(out, "records", r.records.size());
+  for (const auto& rec : r.records) {
+    std::string line;
+    line += std::to_string(static_cast<unsigned>(rec.fault.module));
+    line += ' ';
+    line += std::to_string(rec.fault.bit);
+    line += ' ';
+    line += std::to_string(rec.fault.cycle);
+    line += ' ';
+    line += rec.field;
+    line += ' ';
+    line += rec.role == rtl::FieldRole::Data ? "data" : "control";
+    line += ' ';
+    line += rtlfi::outcome_name(rec.outcome);
+    line += ' ';
+    line += std::to_string(rec.corrupted_elements);
+    line += ' ';
+    line += std::to_string(rec.corrupted_threads);
+    line += ' ';
+    line += std::to_string(rec.diffs.size());
+    if (!rec.due_reason.empty()) {
+      line += " # ";
+      line += rec.due_reason;
+    }
+    put_kv(out, "record", line);
+    for (const auto& d : rec.diffs) {
+      std::string dl;
+      dl += std::to_string(d.index);
+      dl += ' ';
+      dl += std::to_string(d.golden);
+      dl += ' ';
+      dl += std::to_string(d.faulty);
+      dl += ' ';
+      dl += fmt_double(d.rel_error);
+      dl += ' ';
+      dl += std::to_string(d.bits_flipped);
+      put_kv(out, "diff", dl);
+    }
+  }
+
+  // The campaign's distilled syndrome-database bytes: the artifact the
+  // two-level hand-off consumes, pinned verbatim by the served-equals-offline
+  // contract.
+  syndrome::Database db;
+  if (spec.kind == CampaignKind::Tmxm) {
+    const auto site = parse_module(spec.module);
+    if (!site) throw std::invalid_argument("bad tmxm site: " + spec.module);
+    db.add_tmxm_campaign(*site, 8, 8, r);
+  } else {
+    const auto module = parse_module(spec.module);
+    const auto op = parse_opcode(spec.op);
+    const auto range = parse_range(spec.range);
+    if (!module || !op || !range)
+      throw std::invalid_argument("bad rtl spec for serialization");
+    db.add_campaign(syndrome::Key{*module, *op, *range}, r);
+  }
+  db.finalize();
+  std::ostringstream dbos;
+  db.save(dbos);
+  out += "--- syndrome-db ---\n";
+  out += dbos.str();
+  return out;
+}
+
+std::string serialize_sw_result(const swfi::Result& r) {
+  std::string out;
+  put_kv(out, "kind", "sw");
+  put_kv(out, "injections", r.injections);
+  put_kv(out, "masked", r.masked);
+  put_kv(out, "sdc", r.sdc);
+  put_kv(out, "due", r.due);
+  put_kv(out, "candidates", r.candidate_instructions);
+  return out;
+}
+
+std::string serialize_cnn_result(const nn::CnnCampaignResult& r) {
+  std::string out;
+  put_kv(out, "kind", "cnn");
+  put_kv(out, "injections", r.injections);
+  put_kv(out, "masked", r.masked);
+  put_kv(out, "sdc", r.sdc);
+  put_kv(out, "critical", r.critical);
+  put_kv(out, "due", r.due);
+  return out;
+}
+
+}  // namespace gpufi::serve

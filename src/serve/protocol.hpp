@@ -1,0 +1,189 @@
+#pragma once
+
+// gpufi-serve wire protocol: length-prefixed frames over a Unix-domain
+// stream socket.
+//
+// Frame layout (little-endian):
+//   u32  payload length (bytes, <= kMaxFramePayload)
+//   u8   frame type (FrameType)
+//   ...  payload
+//
+// A client sends exactly one Submit (campaign spec) or Status frame per
+// connection. The server answers a Submit with zero or more Progress frames
+// followed by exactly one Result or Error frame, and a Status with one Stats
+// frame; either side closing the connection ends the exchange (a client
+// disconnect cancels the in-flight campaign).
+//
+// Payloads are deterministic "key=value\n" text — the Result payload of a
+// served campaign is byte-identical to the offline engine's serialization of
+// the same spec and seed (the contract tests/serve_test.cpp pins).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "exec/engine.hpp"
+#include "isa/isa.hpp"
+#include "nn/gpu_infer.hpp"
+#include "rtl/state.hpp"
+#include "rtlfi/campaign.hpp"
+#include "rtlfi/microbench.hpp"
+#include "swfi/swfi.hpp"
+
+namespace gpufi::serve {
+
+/// Default Unix-domain socket path of `gpufi serve` (relative to the
+/// daemon's working directory; gitignored).
+inline constexpr const char* kDefaultSocketPath = "gpufi.sock";
+
+/// Upper bound on a frame payload; longer frames are a protocol violation
+/// (the stream cannot be resynchronized afterwards, so the peer closes).
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;
+
+/// Bytes of frame header (u32 length + u8 type).
+inline constexpr std::size_t kFrameHeaderSize = 5;
+
+enum class FrameType : std::uint8_t {
+  Submit = 1,    ///< client -> server: campaign spec
+  Status = 2,    ///< client -> server: stats request (empty payload)
+  Progress = 3,  ///< server -> client: trial-loop telemetry
+  Result = 4,    ///< server -> client: final campaign serialization
+  Error = 5,     ///< server -> client: human-readable failure/rejection
+  Stats = 6,     ///< server -> client: queue/cache/counter snapshot
+};
+
+/// True for types defined above (wire bytes outside the enum are rejected).
+bool frame_type_valid(std::uint8_t t);
+
+struct Frame {
+  FrameType type = FrameType::Error;
+  std::string payload;
+};
+
+// ---------------------------------------------------------------------------
+// In-memory framing (unit-testable without sockets).
+// ---------------------------------------------------------------------------
+
+/// Serializes header + payload. Throws std::length_error past
+/// kMaxFramePayload.
+std::string encode_frame(const Frame& f);
+
+enum class DecodeStatus : std::uint8_t {
+  Ok,        ///< one frame decoded; `consumed` bytes eaten
+  NeedMore,  ///< buffer holds only a truncated frame — read more bytes
+  TooLarge,  ///< declared payload exceeds `max_payload`: close the stream
+  BadType,   ///< unknown frame type byte: close the stream
+};
+
+/// Decodes the first frame of `buf`; on Ok fills `out` and sets `consumed`.
+DecodeStatus decode_frame(std::string_view buf, Frame& out,
+                          std::size_t& consumed,
+                          std::size_t max_payload = kMaxFramePayload);
+
+// ---------------------------------------------------------------------------
+// Blocking socket framing.
+// ---------------------------------------------------------------------------
+
+/// Writes one frame to `fd` (handles short writes, suppresses SIGPIPE).
+/// Returns false on any error — for a server that means "client is gone".
+bool write_frame(int fd, const Frame& f);
+
+enum class ReadStatus : std::uint8_t {
+  Ok,
+  Eof,       ///< clean close before a header byte
+  Error,     ///< syscall failure or mid-frame close
+  TooLarge,  ///< oversized declared payload (protocol violation)
+  BadType,   ///< unknown frame type (protocol violation)
+};
+
+/// Reads exactly one frame from `fd`.
+ReadStatus read_frame(int fd, Frame& out,
+                      std::size_t max_payload = kMaxFramePayload);
+
+// ---------------------------------------------------------------------------
+// Campaign spec — the request payload, mirroring the CLI grids.
+// ---------------------------------------------------------------------------
+
+enum class CampaignKind : std::uint8_t { Rtl, Tmxm, Sw, Cnn };
+
+std::string_view campaign_kind_name(CampaignKind k);
+std::optional<CampaignKind> parse_campaign_kind(std::string_view s);
+
+/// One campaign request. String fields hold the CLI vocabulary ("FFMA",
+/// "fp32", "M", ...) and are validated by resolve-time parsers below; the
+/// spec round-trips losslessly through encode/decode.
+struct CampaignSpec {
+  CampaignKind kind = CampaignKind::Rtl;
+  std::string op = "FFMA";        ///< rtl: instruction mnemonic
+  std::string module = "fp32";    ///< rtl: module / tmxm: injection site
+  std::string range = "M";        ///< rtl: input range S|M|L
+  std::string tile = "random";    ///< tmxm: max|zero|random
+  std::string app = "mxm";        ///< sw: application name
+  std::string model = "bitflip";  ///< sw: fault model / cnn: fault model
+  std::string net = "lenet";      ///< cnn: lenet|yolo
+  std::size_t faults = 2000;      ///< rtl/tmxm trial count
+  std::size_t injections = 300;   ///< sw/cnn trial count
+  std::uint64_t seed = 1;
+  /// Trial-loop threads per campaign. Served default is 1: the daemon's
+  /// worker pool is the wide axis, one request = one core.
+  unsigned jobs = 1;
+  std::string accel = "full";  ///< none|checkpoint|full
+  std::string db_path = "gpufi_data/syndromes.db";
+  std::string models_dir = "gpufi_data";
+  int priority = 0;              ///< lower value = served earlier
+  std::uint64_t deadline_ms = 0;  ///< wall-clock budget; 0 = none
+
+  bool operator==(const CampaignSpec&) const = default;
+};
+
+/// Deterministic "key=value\n" serialization (every field, fixed order).
+std::string encode_spec(const CampaignSpec& spec);
+
+/// Strict parse: unknown keys, malformed numbers, or invalid enum values are
+/// errors (mirrors the CLI's hard usage errors). On failure returns nullopt
+/// and, when given, fills `error`.
+std::optional<CampaignSpec> decode_spec(std::string_view payload,
+                                        std::string* error = nullptr);
+
+/// Validates the spec's vocabulary fields against the engine's parsers
+/// (opcode, module, range, tile, accel, app, model, net — whichever the
+/// kind uses). Returns an error message, or nullopt when the spec is sound.
+std::optional<std::string> validate_spec(const CampaignSpec& spec);
+
+// Vocabulary parsers shared by the CLI and the server dispatch.
+/// True when `s` names one of the HPC applications of `gpufi sw`.
+bool is_known_app(std::string_view s);
+std::optional<isa::Opcode> parse_opcode(std::string_view s);
+std::optional<rtl::Module> parse_module(std::string_view s);
+std::optional<rtlfi::InputRange> parse_range(std::string_view s);
+std::optional<rtlfi::TileKind> parse_tile(std::string_view s);
+std::optional<rtlfi::Acceleration> parse_acceleration(std::string_view s);
+std::optional<swfi::FaultModel> parse_sw_model(std::string_view s);
+std::optional<nn::CnnFaultModel> parse_cnn_model(std::string_view s);
+
+// ---------------------------------------------------------------------------
+// Progress payload.
+// ---------------------------------------------------------------------------
+
+std::string encode_progress(const exec::Progress& p);
+std::optional<exec::Progress> decode_progress(std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Result payloads — deterministic serializations the byte-identity contract
+// is defined over. Floating-point values print with max_digits10 (lossless).
+// ---------------------------------------------------------------------------
+
+/// RTL / t-MxM campaign: every counter, every record (fault site, field,
+/// outcome, diffs), and the syndrome-database bytes the campaign distills to
+/// (add_campaign for rtl, add_tmxm_campaign for tmxm).
+std::string serialize_campaign_result(const CampaignSpec& spec,
+                                      const rtlfi::CampaignResult& r);
+
+/// Software campaign counters.
+std::string serialize_sw_result(const swfi::Result& r);
+
+/// CNN campaign counters (criticality split included).
+std::string serialize_cnn_result(const nn::CnnCampaignResult& r);
+
+}  // namespace gpufi::serve

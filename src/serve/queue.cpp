@@ -1,0 +1,59 @@
+#include "serve/queue.hpp"
+
+namespace gpufi::serve {
+
+JobQueue::JobQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool JobQueue::push(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || queue_.size() >= capacity_) {
+      ++rejected_;
+      return false;
+    }
+    queue_.emplace(std::make_pair(job.spec.priority, next_seq_++),
+                   std::move(job));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;
+  auto it = queue_.begin();
+  Job job = std::move(it->second);
+  queue_.erase(it);
+  return job;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::vector<Job> JobQueue::drain_pending() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Job> pending;
+  pending.reserve(queue_.size());
+  for (auto& [key, job] : queue_) pending.push_back(std::move(job));
+  queue_.clear();
+  return pending;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t JobQueue::rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+}  // namespace gpufi::serve

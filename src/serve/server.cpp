@@ -1,0 +1,509 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "core/gpufi.hpp"
+#include "nn/gpu_infer.hpp"
+#include "serve/queue.hpp"
+
+namespace gpufi::serve {
+
+namespace {
+
+/// Internal control-flow signal for "the token stopped the campaign".
+struct CancelledError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void throw_if_stopped(const exec::CancelToken* cancel) {
+  if (cancel && cancel->stopped()) throw CancelledError("campaign cancelled");
+}
+
+/// Cache key of the shareable golden half of an RTL/t-MxM campaign. Must
+/// capture exactly what rtlfi::prepare_golden depends on: the workload
+/// identity (name already encodes op/range or tile kind; the value seed is
+/// spec.seed) and the trace geometry.
+std::string golden_cache_key(const CampaignSpec& spec,
+                             const rtlfi::CampaignConfig& cc,
+                             const rtlfi::Workload& w) {
+  std::string key = w.name;
+  key += "/vseed=";
+  key += std::to_string(spec.seed);
+  if (cc.acceleration == rtlfi::Acceleration::None)
+    key += "/untraced";
+  else
+    key += "/ckpt=" + std::to_string(cc.checkpoint_interval);
+  return key;
+}
+
+rtlfi::CampaignConfig campaign_config(const CampaignSpec& spec,
+                                      rtl::Module module,
+                                      const exec::ProgressFn& progress,
+                                      const exec::CancelToken* cancel) {
+  rtlfi::CampaignConfig cc;
+  cc.module = module;
+  cc.n_faults = spec.faults;
+  cc.seed = spec.seed;
+  cc.jobs = spec.jobs;
+  cc.acceleration = *parse_acceleration(spec.accel);
+  cc.progress = progress;
+  cc.cancel = cancel;
+  return cc;
+}
+
+apps::HpcApp make_app(const std::string& name) {
+  if (name == "mxm") return apps::make_mxm();
+  if (name == "gaussian") return apps::make_gaussian();
+  if (name == "lud") return apps::make_lud();
+  if (name == "hotspot") return apps::make_hotspot();
+  if (name == "lava") return apps::make_lava();
+  if (name == "quicksort") return apps::make_quicksort();
+  throw std::invalid_argument("unknown app: " + name);
+}
+
+}  // namespace
+
+std::string run_spec(const CampaignSpec& spec, Caches& caches,
+                     const exec::ProgressFn& progress,
+                     const exec::CancelToken* cancel) {
+  if (const auto err = validate_spec(spec))
+    throw std::invalid_argument(*err);
+
+  switch (spec.kind) {
+    case CampaignKind::Rtl: {
+      const auto w = rtlfi::make_microbenchmark(
+          *parse_opcode(spec.op), *parse_range(spec.range), spec.seed);
+      const auto cc =
+          campaign_config(spec, *parse_module(spec.module), progress, cancel);
+      const auto golden = caches.golden(
+          golden_cache_key(spec, cc, w),
+          [&] { return rtlfi::prepare_golden(w, cc); });
+      const auto r = rtlfi::run_campaign(w, cc, *golden);
+      throw_if_stopped(cancel);
+      return serialize_campaign_result(spec, r);
+    }
+    case CampaignKind::Tmxm: {
+      const auto w = rtlfi::make_tmxm(*parse_tile(spec.tile), spec.seed);
+      const auto cc =
+          campaign_config(spec, *parse_module(spec.module), progress, cancel);
+      const auto golden = caches.golden(
+          golden_cache_key(spec, cc, w),
+          [&] { return rtlfi::prepare_golden(w, cc); });
+      const auto r = rtlfi::run_campaign(w, cc, *golden);
+      throw_if_stopped(cancel);
+      return serialize_campaign_result(spec, r);
+    }
+    case CampaignKind::Sw: {
+      const auto app = make_app(spec.app);
+      swfi::Config cfg;
+      cfg.model = *parse_sw_model(spec.model);
+      cfg.n_injections = spec.injections;
+      cfg.seed = spec.seed;
+      cfg.jobs = spec.jobs;
+      cfg.progress = progress;
+      cfg.cancel = cancel;
+      std::shared_ptr<const syndrome::Database> db;
+      if (cfg.model == swfi::FaultModel::RelativeError) {
+        db = caches.syndrome_db(spec.db_path, spec.jobs);
+        throw_if_stopped(cancel);  // the shared build may outlive a deadline
+        cfg.db = db.get();
+      }
+      const auto r = swfi::run_sw_campaign(app.app, cfg);
+      throw_if_stopped(cancel);
+      return serialize_sw_result(r);
+    }
+    case CampaignKind::Cnn: {
+      const auto db = caches.syndrome_db(spec.db_path, spec.jobs);
+      const auto models = core::ensure_models(spec.models_dir);
+      throw_if_stopped(cancel);
+      const bool lenet = spec.net == "lenet";
+      const auto r = nn::run_cnn_campaign(
+          lenet ? models.lenet : models.yololite,
+          lenet ? nn::CnnTask::Classification : nn::CnnTask::Detection,
+          *parse_cnn_model(spec.model), db.get(), spec.injections, spec.seed);
+      throw_if_stopped(cancel);
+      return serialize_cnn_result(r);
+    }
+  }
+  throw std::logic_error("unreachable campaign kind");
+}
+
+std::string run_spec_offline(const CampaignSpec& spec) {
+  Caches fresh;
+  return run_spec(spec, fresh, {}, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Stats payload.
+// ---------------------------------------------------------------------------
+
+std::string encode_stats(const ServerStats& s) {
+  std::string out;
+  const auto kv = [&](const char* k, std::size_t v) {
+    out += k;
+    out += '=';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  kv("accepted", s.accepted);
+  kv("completed", s.completed);
+  kv("failed", s.failed);
+  kv("cancelled", s.cancelled);
+  kv("rejected", s.rejected);
+  kv("active", s.active);
+  kv("queued", s.queued);
+  kv("queue_capacity", s.queue_capacity);
+  kv("workers", s.workers);
+  kv("db_cache_hits", s.db_cache.hits);
+  kv("db_cache_misses", s.db_cache.misses);
+  kv("golden_cache_hits", s.golden_cache.hits);
+  kv("golden_cache_misses", s.golden_cache.misses);
+  return out;
+}
+
+std::optional<ServerStats> decode_stats(std::string_view payload) {
+  ServerStats s;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t eol = payload.find('\n', pos);
+    if (eol == std::string_view::npos) eol = payload.size();
+    const std::string_view line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = line.substr(0, eq);
+    errno = 0;
+    char* end = nullptr;
+    const std::string value(line.substr(eq + 1));
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (errno != 0 || end != value.c_str() + value.size())
+      return std::nullopt;
+    if (key == "accepted") s.accepted = v;
+    else if (key == "completed") s.completed = v;
+    else if (key == "failed") s.failed = v;
+    else if (key == "cancelled") s.cancelled = v;
+    else if (key == "rejected") s.rejected = v;
+    else if (key == "active") s.active = v;
+    else if (key == "queued") s.queued = v;
+    else if (key == "queue_capacity") s.queue_capacity = v;
+    else if (key == "workers") s.workers = v;
+    else if (key == "db_cache_hits") s.db_cache.hits = v;
+    else if (key == "db_cache_misses") s.db_cache.misses = v;
+    else if (key == "golden_cache_hits") s.golden_cache.hits = v;
+    else if (key == "golden_cache_misses") s.golden_cache.misses = v;
+    else return std::nullopt;
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// The daemon.
+// ---------------------------------------------------------------------------
+
+struct Server::Impl {
+  explicit Impl(ServerConfig c)
+      : cfg(std::move(c)), queue(cfg.queue_capacity) {}
+
+  ServerConfig cfg;
+  JobQueue queue;
+  Caches caches;
+
+  int listen_fd = -1;
+  std::atomic<bool> started{false};
+  std::atomic<bool> stopped{false};
+  std::thread accept_thread;
+  std::vector<std::thread> workers;
+
+  std::atomic<std::uint64_t> next_id{1};
+  std::atomic<std::size_t> accepted{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> cancelled{0};
+  std::atomic<std::size_t> active{0};
+
+  /// Tokens of currently-executing jobs (forced shutdown cancels them).
+  std::mutex active_mutex;
+  std::set<std::shared_ptr<exec::CancelToken>> active_tokens;
+
+  void log(const char* fmt, ...) const;
+  void accept_loop();
+  void handle_connection(int fd);
+  void worker_loop();
+  void handle_job(Job job);
+};
+
+void Server::Impl::log(const char* fmt, ...) const {
+  if (cfg.quiet) return;
+  va_list args;
+  va_start(args, fmt);
+  std::fputs("gpufi-serve: ", stderr);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+}
+
+void Server::Impl::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down (or fatal): stop accepting
+    }
+    // Bound the time a silent client can hold the accept thread.
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    handle_connection(fd);
+  }
+}
+
+void Server::Impl::handle_connection(int fd) {
+  Frame req;
+  const ReadStatus st = read_frame(fd, req);
+  if (st != ReadStatus::Ok) {
+    if (st != ReadStatus::Eof)
+      write_frame(fd, {FrameType::Error, "malformed request frame"});
+    ::close(fd);
+    return;
+  }
+
+  if (req.type == FrameType::Status) {
+    ServerStats s;
+    s.accepted = accepted;
+    s.completed = completed;
+    s.failed = failed;
+    s.cancelled = cancelled;
+    s.rejected = queue.rejected();
+    s.active = active;
+    s.queued = queue.depth();
+    s.queue_capacity = queue.capacity();
+    s.workers = workers.size();
+    s.db_cache = caches.syndrome_db_stats();
+    s.golden_cache = caches.golden_stats();
+    write_frame(fd, {FrameType::Stats, encode_stats(s)});
+    ::close(fd);
+    return;
+  }
+
+  if (req.type != FrameType::Submit) {
+    write_frame(fd, {FrameType::Error, "expected a Submit or Status frame"});
+    ::close(fd);
+    return;
+  }
+
+  std::string error;
+  const auto spec = decode_spec(req.payload, &error);
+  if (!spec) {
+    ++failed;
+    write_frame(fd, {FrameType::Error, "invalid campaign spec: " + error});
+    ::close(fd);
+    return;
+  }
+
+  Job job;
+  job.id = next_id.fetch_add(1);
+  job.spec = *spec;
+  job.fd = fd;
+  job.cancel = std::make_shared<exec::CancelToken>();
+  const std::uint64_t deadline_ms =
+      spec->deadline_ms != 0 ? spec->deadline_ms : cfg.default_deadline_ms;
+  if (deadline_ms != 0)
+    job.cancel->set_deadline_after(std::chrono::milliseconds(deadline_ms));
+
+  if (!queue.push(std::move(job))) {
+    // Admission control: reject-with-backpressure instead of buffering.
+    write_frame(fd, {FrameType::Error,
+                     "queue full (capacity " +
+                         std::to_string(queue.capacity()) +
+                         "): retry later"});
+    ::close(fd);
+    log("rejected job (queue full)");
+    return;
+  }
+  ++accepted;
+  log("accepted %s job (queued %zu)",
+      std::string(campaign_kind_name(spec->kind)).c_str(), queue.depth());
+}
+
+void Server::Impl::worker_loop() {
+  while (auto job = queue.pop()) handle_job(std::move(*job));
+}
+
+void Server::Impl::handle_job(Job job) {
+  ++active;
+  {
+    std::lock_guard<std::mutex> lock(active_mutex);
+    active_tokens.insert(job.cancel);
+  }
+  const auto token = job.cancel;
+  const int fd = job.fd;
+
+  // Progress streamer + disconnect detector: a client that closed its end
+  // surfaces as recv()==0 (orderly FIN) or a failed frame write, either of
+  // which cancels the trial loop cooperatively.
+  const exec::ProgressFn progress = [fd, token](const exec::Progress& p) {
+    char probe;
+    const ssize_t r = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (r == 0) {
+      token->cancel();
+      return;
+    }
+    if (!write_frame(fd, {FrameType::Progress, encode_progress(p)}))
+      token->cancel();
+  };
+
+  try {
+    throw_if_stopped(token.get());
+    const std::string payload =
+        run_spec(job.spec, caches, progress, token.get());
+    if (write_frame(fd, {FrameType::Result, payload})) {
+      ++completed;
+      log("job %llu done", static_cast<unsigned long long>(job.id));
+    } else {
+      ++cancelled;  // client vanished between the last trial and the result
+    }
+  } catch (const CancelledError&) {
+    ++cancelled;
+    const char* why = token->cancelled() ? "campaign cancelled"
+                                         : "deadline exceeded";
+    write_frame(fd, {FrameType::Error, why});
+    log("job %llu %s", static_cast<unsigned long long>(job.id), why);
+  } catch (const std::exception& e) {
+    if (token->stopped()) {
+      // A cancelled shared computation (e.g. DB build) may surface as a
+      // generic exception; classify by the token, not the message.
+      ++cancelled;
+      write_frame(fd, {FrameType::Error, token->cancelled()
+                                             ? "campaign cancelled"
+                                             : "deadline exceeded"});
+    } else {
+      ++failed;
+      write_frame(fd, {FrameType::Error,
+                       std::string("campaign failed: ") + e.what()});
+      log("job %llu failed: %s", static_cast<unsigned long long>(job.id),
+          e.what());
+    }
+  }
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> lock(active_mutex);
+    active_tokens.erase(token);
+  }
+  --active;
+}
+
+Server::Server(ServerConfig cfg) : impl_(std::make_unique<Impl>(std::move(cfg))) {}
+
+Server::~Server() {
+  if (impl_->started && !impl_->stopped) shutdown(false);
+}
+
+const ServerConfig& Server::config() const { return impl_->cfg; }
+
+bool Server::running() const {
+  return impl_->started && !impl_->stopped;
+}
+
+void Server::start() {
+  if (impl_->started) throw std::logic_error("server already started");
+  const std::string& path = impl_->cfg.socket_path;
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("socket(): " + std::string(std::strerror(errno)));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // clear a stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("bind(" + path + "): " + err);
+  }
+  if (::listen(fd, 128) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw std::runtime_error("listen(" + path + "): " + err);
+  }
+
+  impl_->listen_fd = fd;
+  impl_->started = true;
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+  const unsigned n = impl_->cfg.workers == 0 ? 1 : impl_->cfg.workers;
+  impl_->workers.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  impl_->log("listening on %s (%u workers, queue capacity %zu)",
+             path.c_str(), n, impl_->queue.capacity());
+}
+
+void Server::shutdown(bool drain) {
+  if (!impl_->started || impl_->stopped) return;
+  impl_->stopped = true;
+  impl_->log(drain ? "draining..." : "stopping...");
+
+  // Wake the accept thread: shutdown() on a listening socket makes a
+  // blocked accept() return immediately.
+  ::shutdown(impl_->listen_fd, SHUT_RDWR);
+  impl_->accept_thread.join();
+  ::close(impl_->listen_fd);
+  impl_->listen_fd = -1;
+
+  if (!drain) {
+    for (auto& job : impl_->queue.drain_pending()) {
+      job.cancel->cancel();
+      write_frame(job.fd, {FrameType::Error, "server shutting down"});
+      ::close(job.fd);
+      ++impl_->cancelled;
+    }
+    std::lock_guard<std::mutex> lock(impl_->active_mutex);
+    for (const auto& token : impl_->active_tokens) token->cancel();
+  }
+
+  // Drain semantics: admitted jobs still run to completion; workers exit
+  // once the queue is empty.
+  impl_->queue.close();
+  for (auto& w : impl_->workers) w.join();
+  impl_->workers.clear();
+  ::unlink(impl_->cfg.socket_path.c_str());
+  impl_->log("stopped (completed %zu, failed %zu, cancelled %zu)",
+             impl_->completed.load(), impl_->failed.load(),
+             impl_->cancelled.load());
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.accepted = impl_->accepted;
+  s.completed = impl_->completed;
+  s.failed = impl_->failed;
+  s.cancelled = impl_->cancelled;
+  s.rejected = impl_->queue.rejected();
+  s.active = impl_->active;
+  s.queued = impl_->queue.depth();
+  s.queue_capacity = impl_->queue.capacity();
+  s.workers = impl_->workers.size();
+  s.db_cache = impl_->caches.syndrome_db_stats();
+  s.golden_cache = impl_->caches.golden_stats();
+  return s;
+}
+
+}  // namespace gpufi::serve

@@ -1,0 +1,95 @@
+#pragma once
+
+// gpufi-serve: a long-running fault-injection campaign daemon.
+//
+// Lifecycle: Server::start() binds the Unix-domain socket and spawns one
+// accept thread plus `workers` campaign workers. Each accepted connection
+// submits one campaign spec; the accept thread applies admission control
+// (bounded priority queue, reject-with-backpressure when full) and workers
+// execute jobs with progress streamed back as frames. A client disconnect or
+// an expired per-request deadline cancels the trial loop cooperatively via
+// exec::CancelToken. shutdown(drain=true) — the SIGTERM path — stops
+// accepting, finishes every admitted job, then tears down.
+//
+// Determinism contract: a served campaign's Result payload is byte-identical
+// to run_spec_offline() of the same spec — queueing, worker count, cache
+// sharing and progress streaming cannot change a single byte of the result.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace gpufi::serve {
+
+struct ServerConfig {
+  std::string socket_path = kDefaultSocketPath;
+  unsigned workers = 2;          ///< concurrent campaign executors
+  std::size_t queue_capacity = 64;  ///< admitted-but-not-running bound
+  /// Applied when a spec carries no deadline; 0 = unlimited.
+  std::uint64_t default_deadline_ms = 0;
+  /// Suppress stderr lifecycle logging (tests).
+  bool quiet = true;
+};
+
+/// Point-in-time counters (the Stats frame payload).
+struct ServerStats {
+  std::size_t accepted = 0;   ///< jobs admitted to the queue
+  std::size_t completed = 0;  ///< jobs that sent a Result frame
+  std::size_t failed = 0;     ///< jobs that sent an Error frame
+  std::size_t cancelled = 0;  ///< jobs aborted by disconnect/deadline/shutdown
+  std::size_t rejected = 0;   ///< submissions bounced by admission control
+  std::size_t active = 0;     ///< jobs currently executing
+  std::size_t queued = 0;     ///< jobs waiting in the queue
+  std::size_t queue_capacity = 0;
+  std::size_t workers = 0;
+  CacheStats db_cache;
+  CacheStats golden_cache;
+};
+
+std::string encode_stats(const ServerStats& s);
+std::optional<ServerStats> decode_stats(std::string_view payload);
+
+/// Executes one campaign spec on the calling thread, sharing `caches`.
+/// Returns the deterministic Result payload. `progress`/`cancel` may be
+/// empty/null. Throws on failure; throws exec-level partial results away
+/// when `cancel` stopped the loop (the caller must check the token).
+std::string run_spec(const CampaignSpec& spec, Caches& caches,
+                     const exec::ProgressFn& progress,
+                     const exec::CancelToken* cancel);
+
+/// The offline reference path: same dispatch with fresh caches and no
+/// hooks — what the CLI runs, and what the byte-identity tests compare a
+/// served payload against.
+std::string run_spec_offline(const CampaignSpec& spec);
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  /// Stops without draining if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and spawns the accept/worker threads. Throws
+  /// std::runtime_error on bind/listen failure.
+  void start();
+
+  /// Idempotent teardown. drain=true (SIGTERM): stop accepting, run every
+  /// admitted job to completion, then join. drain=false: additionally
+  /// cancel the active jobs and bounce the queued ones with an Error frame.
+  void shutdown(bool drain);
+
+  bool running() const;
+  ServerStats stats() const;
+  const ServerConfig& config() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gpufi::serve

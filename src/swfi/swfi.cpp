@@ -171,6 +171,7 @@ Result run_sw_campaign(const App& app, const Config& cfg) {
   ec.seed = cfg.seed;
   ec.jobs = cfg.jobs;
   ec.progress = cfg.progress;
+  ec.cancel = cfg.cancel;
   Result result = exec::run_trials<Result>(
       ec, [] { return 0; },
       [&](int&, std::size_t, Rng& rng, Result& shard) {

@@ -115,6 +115,9 @@ struct Config {
   unsigned jobs = 0;
   /// Optional telemetry callback (injections done, injections/sec, ETA).
   exec::ProgressFn progress;
+  /// Optional cooperative stop flag: a stopped token aborts the injection
+  /// loop early (partial results must be discarded by the caller).
+  const exec::CancelToken* cancel = nullptr;
 };
 
 /// Campaign outcome: the Program Vulnerability Factor data of Fig. 10 /

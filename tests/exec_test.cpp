@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "apps/apps.hpp"
@@ -162,6 +164,157 @@ TEST(Engine, ProgressReachesTotalExactlyOnceAtEnd) {
       [](int&, std::size_t, Rng&, ToyResult& shard) { ++shard.sum; });
   EXPECT_EQ(final_reports.load(), 1u);
   EXPECT_EQ(last_done.load(), 200u);
+}
+
+// ------------------------------------------------------------- edge cases
+
+TEST(Engine, ZeroTrialsRunsNothing) {
+  exec::EngineConfig ec;
+  ec.n_trials = 0;
+  ec.seed = 5;
+  std::atomic<int> contexts{0};
+  const ToyResult r = exec::run_trials<ToyResult>(
+      ec,
+      [&] {
+        ++contexts;
+        return 0;
+      },
+      [](int&, std::size_t, Rng&, ToyResult&) {
+        FAIL() << "trial ran for n_trials=0";
+      });
+  EXPECT_EQ(r.sum, 0u);
+  EXPECT_TRUE(r.draws.empty());
+  EXPECT_EQ(contexts.load(), 0);
+}
+
+TEST(Engine, ResolveJobsClampsToBatchWidth) {
+  EXPECT_EQ(exec::resolve_jobs(8, 3), 3u);   // never wider than the batch
+  EXPECT_EQ(exec::resolve_jobs(2, 100), 2u);
+  EXPECT_EQ(exec::resolve_jobs(5, 5), 5u);
+  EXPECT_GE(exec::resolve_jobs(0, 1000), 1u);  // 0 = default, still >= 1
+  EXPECT_EQ(exec::resolve_jobs(0, 1), 1u);
+  EXPECT_EQ(exec::resolve_jobs(7, 0), 1u);  // empty batch: minimal pool
+}
+
+TEST(Engine, MoreJobsThanTrialsIsIdenticalToSerial) {
+  const ToyResult serial = toy_campaign(3, 1);
+  const ToyResult wide = toy_campaign(3, 64);  // 64 workers, 3 trials
+  EXPECT_EQ(serial.sum, wide.sum);
+  EXPECT_EQ(serial.draws, wide.draws);
+  ASSERT_EQ(wide.draws.size(), 3u);
+}
+
+TEST(Engine, SingleJobRunsInlineOnTheCallingThread) {
+  // jobs == 1 must not spin up a pool: every trial executes on the caller's
+  // thread (the fast path campaigns rely on for nested parallelism).
+  const auto caller = std::this_thread::get_id();
+  exec::EngineConfig ec;
+  ec.n_trials = 40;
+  ec.seed = 9;
+  ec.jobs = 1;
+  exec::run_trials<ToyResult>(
+      ec, [] { return 0; },
+      [&](int&, std::size_t, Rng&, ToyResult& shard) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++shard.sum;
+      });
+}
+
+// ------------------------------------------------------------- cancellation
+
+TEST(CancelToken, StartsUnstoppedAndLatchesCancel) {
+  exec::CancelToken t;
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_FALSE(t.expired());
+  EXPECT_FALSE(t.stopped());
+  t.cancel();
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_TRUE(t.stopped());
+  EXPECT_FALSE(t.expired());  // cancel is not a deadline
+}
+
+TEST(CancelToken, DeadlineExpires) {
+  exec::CancelToken t;
+  t.set_deadline_after(std::chrono::hours(1));
+  EXPECT_FALSE(t.expired());
+  t.set_deadline(std::chrono::steady_clock::now() -
+                 std::chrono::milliseconds(1));
+  EXPECT_TRUE(t.expired());
+  EXPECT_TRUE(t.stopped());
+  EXPECT_FALSE(t.cancelled());
+}
+
+TEST(Engine, CancelledTokenSkipsRemainingTrials) {
+  exec::CancelToken token;
+  exec::EngineConfig ec;
+  ec.n_trials = 10'000;
+  ec.seed = 4;
+  ec.jobs = 1;
+  ec.cancel = &token;
+  const ToyResult r = exec::run_trials<ToyResult>(
+      ec, [] { return 0; },
+      [&](int&, std::size_t i, Rng&, ToyResult& shard) {
+        if (i == 9) token.cancel();  // stop after the 10th trial
+        ++shard.sum;
+      });
+  EXPECT_TRUE(token.stopped());
+  // Trials 0..9 ran; everything after the cancel was skipped.
+  EXPECT_GE(r.sum, 10u);
+  EXPECT_LT(r.sum, 10'000u);
+}
+
+TEST(Engine, PreCancelledTokenRunsNoTrials) {
+  exec::CancelToken token;
+  token.cancel();
+  exec::EngineConfig ec;
+  ec.n_trials = 100;
+  ec.seed = 4;
+  ec.jobs = 2;
+  ec.cancel = &token;
+  const ToyResult r = exec::run_trials<ToyResult>(
+      ec, [] { return 0; },
+      [](int&, std::size_t, Rng&, ToyResult&) {
+        FAIL() << "trial ran under a pre-cancelled token";
+      });
+  EXPECT_EQ(r.sum, 0u);
+}
+
+TEST(Engine, CancelledPrefixIsByteIdenticalToUncancelledRun) {
+  // The partial merge under cancellation is a prefix of the full run per
+  // chunk — with jobs=1 and a cancel inside the first chunk, an exact prefix.
+  const ToyResult full = toy_campaign(333, 1);
+  exec::CancelToken token;
+  exec::EngineConfig ec;
+  ec.n_trials = 333;
+  ec.seed = 99;
+  ec.jobs = 1;
+  ec.cancel = &token;
+  const ToyResult part = exec::run_trials<ToyResult>(
+      ec, [] { return 0; },
+      [&](int&, std::size_t i, Rng& rng, ToyResult& shard) {
+        const std::uint64_t d = rng();
+        shard.sum += d;
+        shard.draws.push_back(d);
+        if (i == 4) token.cancel();
+      });
+  ASSERT_EQ(part.draws.size(), 5u);
+  for (std::size_t i = 0; i < part.draws.size(); ++i)
+    EXPECT_EQ(part.draws[i], full.draws[i]) << "trial " << i;
+}
+
+TEST(Engine, RtlCampaignHonoursCancelToken) {
+  const auto w = rtlfi::make_microbenchmark(isa::Opcode::FADD,
+                                            rtlfi::InputRange::Medium, 3);
+  exec::CancelToken token;
+  token.cancel();
+  rtlfi::CampaignConfig cfg;
+  cfg.module = rtl::Module::Fp32Fu;
+  cfg.n_faults = 50;
+  cfg.seed = 11;
+  cfg.jobs = 1;
+  cfg.cancel = &token;
+  const auto r = rtlfi::run_campaign(w, cfg);
+  EXPECT_EQ(r.injected, 0u);  // pre-cancelled: no trial ran
 }
 
 // ------------------------------------------------- campaign-level determinism

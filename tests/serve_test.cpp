@@ -1,0 +1,618 @@
+// Tests for gpufi-serve: wire protocol framing, the bounded priority queue,
+// the single-flight shared caches, and loopback daemon sessions pinning the
+// served-equals-offline byte-identity contract, golden-trace sharing across
+// concurrent requests, admission control, deadlines, and SIGTERM-style drain.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+
+using namespace gpufi;
+using namespace gpufi::serve;
+
+namespace {
+
+/// Polls `pred` (5 ms period) until true or `timeout`; returns the verdict.
+bool wait_until(const std::function<bool()>& pred,
+                std::chrono::milliseconds timeout =
+                    std::chrono::milliseconds(10'000)) {
+  const auto end = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < end) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+/// A small, fast RTL campaign spec (the loopback workhorse).
+CampaignSpec small_rtl_spec() {
+  CampaignSpec spec;
+  spec.kind = CampaignKind::Rtl;
+  spec.op = "FFMA";
+  spec.module = "fp32";
+  spec.range = "M";
+  spec.faults = 30;
+  spec.seed = 7;
+  spec.jobs = 1;
+  spec.accel = "full";
+  return spec;
+}
+
+/// Submits `spec` on a raw connection without reading the reply (lets tests
+/// observe server state while the job is queued/running). Caller closes fd.
+int submit_raw(const std::string& socket_path, const CampaignSpec& spec) {
+  const int fd = connect_socket(socket_path);
+  EXPECT_GE(fd, 0) << "connect(" << socket_path << ")";
+  EXPECT_TRUE(write_frame(fd, {FrameType::Submit, encode_spec(spec)}));
+  return fd;
+}
+
+/// Reads frames until the final Result/Error frame (skipping Progress).
+Frame read_final(int fd) {
+  for (;;) {
+    Frame f;
+    const ReadStatus st = read_frame(fd, f);
+    EXPECT_EQ(st, ReadStatus::Ok) << "stream ended before a final frame";
+    if (st != ReadStatus::Ok) return {FrameType::Error, "transport error"};
+    if (f.type == FrameType::Progress) continue;
+    return f;
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- framing
+
+TEST(Protocol, FrameRoundTripsThroughEncodeDecode) {
+  const Frame in{FrameType::Submit, "kind=rtl\nop=FFMA\n"};
+  const std::string wire = encode_frame(in);
+  EXPECT_EQ(wire.size(), kFrameHeaderSize + in.payload.size());
+  Frame out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame(wire, out, consumed), DecodeStatus::Ok);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(out.type, in.type);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(Protocol, EmptyPayloadFrameIsValid) {
+  const std::string wire = encode_frame({FrameType::Status, ""});
+  Frame out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame(wire, out, consumed), DecodeStatus::Ok);
+  EXPECT_EQ(out.type, FrameType::Status);
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(Protocol, TruncatedFramesNeedMoreBytes) {
+  const std::string wire = encode_frame({FrameType::Result, "payload body"});
+  Frame out;
+  std::size_t consumed = 0;
+  // Every strict prefix — header fragments and partial payloads alike — must
+  // ask for more bytes, never decode garbage.
+  for (std::size_t len = 0; len < wire.size(); ++len)
+    EXPECT_EQ(decode_frame(std::string_view(wire).substr(0, len), out,
+                           consumed),
+              DecodeStatus::NeedMore)
+        << "prefix length " << len;
+}
+
+TEST(Protocol, OversizedDeclaredPayloadIsRejected) {
+  // Declared length 100 with a 16-byte cap: protocol violation, not NeedMore.
+  std::string wire = encode_frame({FrameType::Error, std::string(100, 'x')});
+  Frame out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame(wire, out, consumed, /*max_payload=*/16),
+            DecodeStatus::TooLarge);
+}
+
+TEST(Protocol, EncodeRefusesOverlongPayload) {
+  Frame f{FrameType::Result, std::string(kMaxFramePayload + 1, 'x')};
+  EXPECT_THROW(encode_frame(f), std::length_error);
+}
+
+TEST(Protocol, UnknownFrameTypeByteIsRejected) {
+  std::string wire = encode_frame({FrameType::Submit, "abc"});
+  wire[4] = 0;  // type byte below the enum range
+  Frame out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame(wire, out, consumed), DecodeStatus::BadType);
+  wire[4] = 42;  // above the enum range
+  EXPECT_EQ(decode_frame(wire, out, consumed), DecodeStatus::BadType);
+}
+
+TEST(Protocol, SocketFramingRoundTripsAndSignalsEof) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const Frame sent{FrameType::Progress, "done=5\ntotal=10\n"};
+  ASSERT_TRUE(write_frame(fds[0], sent));
+  Frame got;
+  ASSERT_EQ(read_frame(fds[1], got), ReadStatus::Ok);
+  EXPECT_EQ(got.type, sent.type);
+  EXPECT_EQ(got.payload, sent.payload);
+  ::close(fds[0]);  // clean close -> Eof on the reader
+  EXPECT_EQ(read_frame(fds[1], got), ReadStatus::Eof);
+  ::close(fds[1]);
+}
+
+TEST(Protocol, WriteToHungUpPeerFailsInsteadOfKillingTheProcess) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);
+  // MSG_NOSIGNAL: EPIPE as a return value, no SIGPIPE.
+  EXPECT_FALSE(write_frame(fds[0], {FrameType::Result, "late result"}));
+  ::close(fds[0]);
+}
+
+TEST(Protocol, ReadRejectsOversizedAndBadTypeFrames) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(write_frame(fds[0], {FrameType::Error, std::string(64, 'y')}));
+  Frame got;
+  EXPECT_EQ(read_frame(fds[1], got, /*max_payload=*/8), ReadStatus::TooLarge);
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string wire = encode_frame({FrameType::Submit, "x"});
+  wire[4] = 99;
+  ASSERT_EQ(::send(fds[0], wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+  EXPECT_EQ(read_frame(fds[1], got), ReadStatus::BadType);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ------------------------------------------------------------ spec payloads
+
+TEST(Protocol, SpecRoundTripsEveryField) {
+  CampaignSpec spec;
+  spec.kind = CampaignKind::Sw;
+  spec.op = "FADD";
+  spec.module = "sched";
+  spec.range = "L";
+  spec.tile = "zero";
+  spec.app = "hotspot";
+  spec.model = "syndrome";
+  spec.net = "yolo";
+  spec.faults = 123;
+  spec.injections = 45;
+  spec.seed = 999;
+  spec.jobs = 3;
+  spec.accel = "checkpoint";
+  spec.db_path = "some/dir/syn.db";
+  spec.models_dir = "some/dir";
+  spec.priority = -2;
+  spec.deadline_ms = 1500;
+  std::string error;
+  const auto back = decode_spec(encode_spec(spec), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(*back, spec);
+}
+
+TEST(Protocol, SpecDecodeIsStrict) {
+  std::string error;
+  // Unknown key.
+  EXPECT_FALSE(decode_spec("kind=rtl\nbogus=1\n", &error).has_value());
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+  // Malformed number.
+  EXPECT_FALSE(decode_spec("kind=rtl\nfaults=12x\n", &error).has_value());
+  // Line without '='.
+  EXPECT_FALSE(decode_spec("kind=rtl\nnonsense\n", &error).has_value());
+  // Invalid vocabulary caught by validation.
+  EXPECT_FALSE(decode_spec("kind=rtl\nop=NOSUCH\n", &error).has_value());
+  EXPECT_FALSE(decode_spec("kind=sw\napp=doom\n", &error).has_value());
+  EXPECT_FALSE(decode_spec("kind=cnn\nnet=alexnet\n", &error).has_value());
+  EXPECT_FALSE(decode_spec("kind=rtl\naccel=warp9\n", &error).has_value());
+  EXPECT_FALSE(decode_spec("kind=marsupial\n", &error).has_value());
+}
+
+TEST(Protocol, ProgressRoundTrips) {
+  exec::Progress p;
+  p.done = 7;
+  p.total = 1000;
+  p.per_second = 123.456789012345;
+  p.eta_seconds = 8.0500000000000007;
+  const auto back = decode_progress(encode_progress(p));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->done, p.done);
+  EXPECT_EQ(back->total, p.total);
+  EXPECT_DOUBLE_EQ(back->per_second, p.per_second);
+  EXPECT_DOUBLE_EQ(back->eta_seconds, p.eta_seconds);
+}
+
+TEST(Protocol, StatsRoundTrip) {
+  ServerStats s;
+  s.accepted = 10;
+  s.completed = 6;
+  s.failed = 1;
+  s.cancelled = 2;
+  s.rejected = 3;
+  s.active = 1;
+  s.queued = 4;
+  s.queue_capacity = 64;
+  s.workers = 2;
+  s.db_cache = {5, 1};
+  s.golden_cache = {9, 2};
+  const auto back = decode_stats(encode_stats(s));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->accepted, s.accepted);
+  EXPECT_EQ(back->completed, s.completed);
+  EXPECT_EQ(back->failed, s.failed);
+  EXPECT_EQ(back->cancelled, s.cancelled);
+  EXPECT_EQ(back->rejected, s.rejected);
+  EXPECT_EQ(back->active, s.active);
+  EXPECT_EQ(back->queued, s.queued);
+  EXPECT_EQ(back->queue_capacity, s.queue_capacity);
+  EXPECT_EQ(back->workers, s.workers);
+  EXPECT_EQ(back->db_cache.hits, s.db_cache.hits);
+  EXPECT_EQ(back->golden_cache.misses, s.golden_cache.misses);
+  EXPECT_FALSE(decode_stats("accepted=1\nnope=2\n").has_value());
+}
+
+// ----------------------------------------------------------------- queue
+
+namespace {
+
+Job make_job(std::uint64_t id, int priority = 0) {
+  Job j;
+  j.id = id;
+  j.spec = small_rtl_spec();
+  j.spec.priority = priority;
+  j.cancel = std::make_shared<exec::CancelToken>();
+  return j;
+}
+
+}  // namespace
+
+TEST(JobQueue, PopsInPriorityThenArrivalOrder) {
+  JobQueue q(8);
+  ASSERT_TRUE(q.push(make_job(1, /*priority=*/5)));
+  ASSERT_TRUE(q.push(make_job(2, /*priority=*/0)));
+  ASSERT_TRUE(q.push(make_job(3, /*priority=*/5)));
+  ASSERT_TRUE(q.push(make_job(4, /*priority=*/-1)));
+  EXPECT_EQ(q.pop()->id, 4u);  // lowest priority value first
+  EXPECT_EQ(q.pop()->id, 2u);
+  EXPECT_EQ(q.pop()->id, 1u);  // FIFO within a priority class
+  EXPECT_EQ(q.pop()->id, 3u);
+}
+
+TEST(JobQueue, RejectsWhenFullAndCountsRejections) {
+  JobQueue q(2);
+  EXPECT_TRUE(q.push(make_job(1)));
+  EXPECT_TRUE(q.push(make_job(2)));
+  EXPECT_FALSE(q.push(make_job(3)));  // bounded: reject, don't block
+  EXPECT_FALSE(q.push(make_job(4)));
+  EXPECT_EQ(q.rejected(), 2u);
+  EXPECT_EQ(q.depth(), 2u);
+  q.pop();
+  EXPECT_TRUE(q.push(make_job(5)));  // slot freed -> admitted again
+}
+
+TEST(JobQueue, CloseDrainsQueuedJobsThenSignalsExit) {
+  JobQueue q(8);
+  ASSERT_TRUE(q.push(make_job(1)));
+  ASSERT_TRUE(q.push(make_job(2)));
+  q.close();
+  EXPECT_FALSE(q.push(make_job(3)));  // no admissions after close
+  EXPECT_TRUE(q.pop().has_value());   // ...but queued jobs still drain
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());  // empty + closed -> worker exits
+}
+
+TEST(JobQueue, DrainPendingEmptiesTheQueue) {
+  JobQueue q(8);
+  ASSERT_TRUE(q.push(make_job(1)));
+  ASSERT_TRUE(q.push(make_job(2, 1)));
+  const auto pending = q.drain_pending();
+  EXPECT_EQ(pending.size(), 2u);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(JobQueue, PopBlocksUntilAJobArrives) {
+  JobQueue q(4);
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    const auto j = q.pop();
+    got = j.has_value() && j->id == 77;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(q.push(make_job(77)));
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+// ----------------------------------------------------------------- cache
+
+TEST(SharedCache, ComputesOnceAndSharesAcrossRacingThreads) {
+  SharedCache<int> cache;
+  std::atomic<int> computes{0};
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const int>> results(6);
+  for (std::size_t t = 0; t < results.size(); ++t)
+    threads.emplace_back([&, t] {
+      results[t] = cache.get_or_compute("k", [&] {
+        ++computes;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return 42;
+      });
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(computes.load(), 1);  // single flight
+  for (const auto& r : results) {
+    ASSERT_TRUE(r);
+    EXPECT_EQ(*r, 42);
+    EXPECT_EQ(r.get(), results[0].get());  // literally the same object
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 5u);
+}
+
+TEST(SharedCache, DistinctKeysComputeSeparately) {
+  SharedCache<std::string> cache;
+  const auto a = cache.get_or_compute("a", [] { return std::string("A"); });
+  const auto b = cache.get_or_compute("b", [] { return std::string("B"); });
+  EXPECT_EQ(*a, "A");
+  EXPECT_EQ(*b, "B");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(SharedCache, FailedComputeIsNotPoisoned) {
+  SharedCache<int> cache;
+  EXPECT_THROW(cache.get_or_compute(
+                   "k", []() -> int { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  // The failure was erased: the next requester retries and succeeds.
+  const auto r = cache.get_or_compute("k", [] { return 7; });
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// ------------------------------------------------------------- loopback
+
+TEST(Serve, ServedResultIsByteIdenticalToOffline) {
+  const auto spec = small_rtl_spec();
+  const std::string offline = run_spec_offline(spec);
+  ASSERT_FALSE(offline.empty());
+  ASSERT_NE(offline.find("--- syndrome-db ---"), std::string::npos);
+
+  ServerConfig cfg;
+  cfg.socket_path = "serve_bytes.sock";
+  cfg.workers = 1;
+  Server server(cfg);
+  server.start();
+  const auto outcome = submit_campaign(cfg.socket_path, spec);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result, offline);  // THE determinism contract
+  server.shutdown(/*drain=*/true);
+}
+
+TEST(Serve, ServedSwCampaignMatchesOffline) {
+  CampaignSpec spec;
+  spec.kind = CampaignKind::Sw;
+  spec.app = "mxm";
+  spec.model = "bitflip";
+  spec.injections = 15;
+  spec.seed = 4;
+  spec.jobs = 1;
+  const std::string offline = run_spec_offline(spec);
+
+  ServerConfig cfg;
+  cfg.socket_path = "serve_sw.sock";
+  cfg.workers = 1;
+  Server server(cfg);
+  server.start();
+  const auto outcome = submit_campaign(cfg.socket_path, spec);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result, offline);
+  server.shutdown(true);
+}
+
+TEST(Serve, ConcurrentRequestsShareOneCachedGolden) {
+  // Four identical campaigns in flight at once must trigger exactly one
+  // prepare_golden (single-flight cache) and still each get the full,
+  // byte-identical result.
+  const auto spec = small_rtl_spec();
+  const std::string offline = run_spec_offline(spec);
+
+  ServerConfig cfg;
+  cfg.socket_path = "serve_shared.sock";
+  cfg.workers = 4;
+  Server server(cfg);
+  server.start();
+
+  std::vector<std::thread> clients;
+  std::vector<SubmitOutcome> outcomes(4);
+  for (std::size_t i = 0; i < outcomes.size(); ++i)
+    clients.emplace_back([&, i] {
+      outcomes[i] = submit_campaign(cfg.socket_path, spec);
+    });
+  for (auto& c : clients) c.join();
+
+  for (const auto& o : outcomes) {
+    ASSERT_TRUE(o.ok) << o.error;
+    EXPECT_EQ(o.result, offline);
+  }
+  // The worker increments `completed` just after sending the Result frame,
+  // so a fast client can observe its bytes first — poll briefly.
+  ASSERT_TRUE(wait_until([&] { return server.stats().completed == 4; }));
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.golden_cache.misses, 1u);  // one compute...
+  EXPECT_EQ(stats.golden_cache.hits, 3u);    // ...shared by the other three
+  server.shutdown(true);
+}
+
+TEST(Serve, InvalidSpecGetsAnErrorFrame) {
+  ServerConfig cfg;
+  cfg.socket_path = "serve_invalid.sock";
+  cfg.workers = 1;
+  Server server(cfg);
+  server.start();
+  const int fd = connect_socket(cfg.socket_path);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(write_frame(fd, {FrameType::Submit, "kind=rtl\nop=NOSUCH\n"}));
+  const Frame reply = read_final(fd);
+  EXPECT_EQ(reply.type, FrameType::Error);
+  EXPECT_NE(reply.payload.find("NOSUCH"), std::string::npos);
+  ::close(fd);
+  server.shutdown(true);
+}
+
+TEST(Serve, FullQueueRejectsWithBackpressure) {
+  ServerConfig cfg;
+  cfg.socket_path = "serve_reject.sock";
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  Server server(cfg);
+  server.start();
+
+  // A deliberately slow campaign occupies the single worker...
+  auto slow = small_rtl_spec();
+  slow.faults = 800;
+  slow.accel = "none";
+  const int running = submit_raw(cfg.socket_path, slow);
+  ASSERT_TRUE(wait_until([&] { return server.stats().active == 1; }));
+  // ...a second fills the only queue slot...
+  const int queued = submit_raw(cfg.socket_path, small_rtl_spec());
+  ASSERT_TRUE(wait_until([&] { return server.stats().queued == 1; }));
+  // ...and the third bounces immediately with a queue-full Error.
+  const int bounced = submit_raw(cfg.socket_path, small_rtl_spec());
+  const Frame reply = read_final(bounced);
+  EXPECT_EQ(reply.type, FrameType::Error);
+  EXPECT_NE(reply.payload.find("queue full"), std::string::npos);
+  EXPECT_GE(server.stats().rejected, 1u);
+  ::close(bounced);
+
+  // The admitted jobs still complete normally.
+  EXPECT_EQ(read_final(running).type, FrameType::Result);
+  EXPECT_EQ(read_final(queued).type, FrameType::Result);
+  ::close(running);
+  ::close(queued);
+  server.shutdown(true);
+}
+
+TEST(Serve, ExpiredDeadlineCancelsTheCampaign) {
+  ServerConfig cfg;
+  cfg.socket_path = "serve_deadline.sock";
+  cfg.workers = 1;
+  Server server(cfg);
+  server.start();
+  auto spec = small_rtl_spec();
+  spec.faults = 2000;
+  spec.accel = "none";
+  spec.deadline_ms = 1;  // expires long before 2000 unaccelerated trials
+  const int fd = submit_raw(cfg.socket_path, spec);
+  const Frame reply = read_final(fd);
+  EXPECT_EQ(reply.type, FrameType::Error);
+  EXPECT_NE(reply.payload.find("deadline"), std::string::npos);
+  ::close(fd);
+  ASSERT_TRUE(wait_until([&] { return server.stats().cancelled == 1; }));
+  server.shutdown(true);
+}
+
+TEST(Serve, GracefulDrainFinishesAdmittedJobs) {
+  // The SIGTERM path: shutdown(drain=true) must complete every admitted
+  // campaign (and deliver its bytes) before tearing down.
+  ServerConfig cfg;
+  cfg.socket_path = "serve_drain.sock";
+  cfg.workers = 1;
+  Server server(cfg);
+  server.start();
+  const auto spec = small_rtl_spec();
+  const int a = submit_raw(cfg.socket_path, spec);
+  const int b = submit_raw(cfg.socket_path, spec);
+  ASSERT_TRUE(wait_until([&] { return server.stats().accepted == 2; }));
+
+  server.shutdown(/*drain=*/true);
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.stats().completed, 2u);
+  EXPECT_EQ(server.stats().cancelled, 0u);
+  // Both clients still receive their full results.
+  EXPECT_EQ(read_final(a).type, FrameType::Result);
+  EXPECT_EQ(read_final(b).type, FrameType::Result);
+  ::close(a);
+  ::close(b);
+  // The socket file is gone: a later bind can reuse the path.
+  EXPECT_LT(connect_socket(cfg.socket_path), 0);
+}
+
+TEST(Serve, ForcedShutdownCancelsActiveAndBouncesQueued) {
+  ServerConfig cfg;
+  cfg.socket_path = "serve_force.sock";
+  cfg.workers = 1;
+  Server server(cfg);
+  server.start();
+  auto slow = small_rtl_spec();
+  slow.faults = 800;
+  slow.accel = "none";
+  const int running = submit_raw(cfg.socket_path, slow);
+  ASSERT_TRUE(wait_until([&] { return server.stats().active == 1; }));
+  const int queued = submit_raw(cfg.socket_path, small_rtl_spec());
+  ASSERT_TRUE(wait_until([&] { return server.stats().queued == 1; }));
+
+  server.shutdown(/*drain=*/false);
+  // The queued job is bounced with an explicit shutdown Error.
+  const Frame bounced = read_final(queued);
+  EXPECT_EQ(bounced.type, FrameType::Error);
+  EXPECT_NE(bounced.payload.find("shutting down"), std::string::npos);
+  // The active job was cancelled cooperatively (no Result frame).
+  const Frame aborted = read_final(running);
+  EXPECT_EQ(aborted.type, FrameType::Error);
+  ::close(running);
+  ::close(queued);
+  EXPECT_EQ(server.stats().completed, 0u);
+  EXPECT_EQ(server.stats().cancelled, 2u);
+}
+
+TEST(Serve, StatusQueryReportsConfigurationAndCounters) {
+  ServerConfig cfg;
+  cfg.socket_path = "serve_status.sock";
+  cfg.workers = 3;
+  cfg.queue_capacity = 17;
+  Server server(cfg);
+  server.start();
+  const auto outcome = submit_campaign(cfg.socket_path, small_rtl_spec());
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  ASSERT_TRUE(wait_until([&] { return server.stats().completed == 1; }));
+  std::string error;
+  const auto stats = query_stats(cfg.socket_path, &error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->workers, 3u);
+  EXPECT_EQ(stats->queue_capacity, 17u);
+  EXPECT_EQ(stats->accepted, 1u);
+  EXPECT_EQ(stats->completed, 1u);
+  server.shutdown(true);
+  // After teardown the daemon is unreachable.
+  EXPECT_FALSE(query_stats(cfg.socket_path, &error).has_value());
+}
+
+TEST(Serve, MalformedFirstFrameGetsAnErrorReply) {
+  ServerConfig cfg;
+  cfg.socket_path = "serve_garbage.sock";
+  cfg.workers = 1;
+  Server server(cfg);
+  server.start();
+  const int fd = connect_socket(cfg.socket_path);
+  ASSERT_GE(fd, 0);
+  // A Progress frame is not a valid request.
+  ASSERT_TRUE(write_frame(fd, {FrameType::Progress, "done=1\ntotal=2\n"}));
+  const Frame reply = read_final(fd);
+  EXPECT_EQ(reply.type, FrameType::Error);
+  ::close(fd);
+  server.shutdown(true);
+}
