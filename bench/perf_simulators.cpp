@@ -231,6 +231,45 @@ void report_rtl_acceleration() {
   }
 }
 
+/// Per-fault-model campaign throughput: stuck-at faults disable the
+/// early-exit fast path and can run to the watchdog, so their injection
+/// rate is the axis most likely to regress. One JSON line per run is
+/// appended to `BENCH_rtl.json` next to the acceleration numbers.
+void report_fault_model_throughput() {
+  const auto w = rtlfi::make_microbenchmark(isa::Opcode::FFMA,
+                                            rtlfi::InputRange::Medium, 1);
+  const auto rate_for = [&](rtl::FaultModel model) {
+    rtlfi::CampaignConfig cfg;
+    cfg.module = rtl::Module::Fp32Fu;
+    cfg.n_faults = 300;
+    cfg.seed = 7;
+    cfg.jobs = 1;
+    cfg.acceleration = rtlfi::Acceleration::CheckpointEarlyExit;
+    cfg.fault_model = model;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = rtlfi::run_campaign(w, cfg);
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    return s > 0 ? static_cast<double>(r.injected) / s : 0.0;
+  };
+  char json[512];
+  std::snprintf(
+      json, sizeof json,
+      "{\"bench\":\"rtl_fault_models\",\"faults\":300,\"jobs\":1,"
+      "\"inj_per_sec_transient\":%.1f,\"inj_per_sec_stuck0\":%.1f,"
+      "\"inj_per_sec_stuck1\":%.1f,\"inj_per_sec_burst\":%.1f}",
+      rate_for(rtl::FaultModel::Transient),
+      rate_for(rtl::FaultModel::StuckAt0),
+      rate_for(rtl::FaultModel::StuckAt1),
+      rate_for(rtl::FaultModel::IntermittentBurst));
+  std::printf("%s\n", json);
+  if (std::FILE* f = std::fopen("BENCH_rtl.json", "a")) {
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -240,5 +279,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   report_campaign_scaling();
   report_rtl_acceleration();
+  report_fault_model_throughput();
   return 0;
 }

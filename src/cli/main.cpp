@@ -23,8 +23,8 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
-#include "apps/apps.hpp"
 #include "core/gpufi.hpp"
 #include "nn/gpu_infer.hpp"
 #include "rtlfi/campaign.hpp"
@@ -32,6 +32,8 @@
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "swfi/swfi.hpp"
+#include "syndrome/syndrome.hpp"
+#include "vocab/vocab.hpp"
 
 using namespace gpufi;
 
@@ -45,9 +47,11 @@ int usage() {
       "ISETP> <fp32|int|sfu|sfuctl|sched|pipe> [--range S|M|L] [--faults N] "
       "[--seed S]\n"
       "  gpufi tmxm <sched|pipe> [--tile max|zero|random] [--faults N]\n"
-      "  gpufi build-db <path> [--faults N]\n"
+      "  gpufi build-db <path> [--faults N] "
+      "[--fault-model transient[,stuck0,...]]\n"
       "  gpufi sw <mxm|gaussian|lud|hotspot|lava|quicksort> "
-      "<bitflip|doublebit|syndrome> [--injections N] [--db PATH]\n"
+      "<bitflip|doublebit|syndrome|warp|sticky> [--injections N] "
+      "[--db PATH]\n"
       "  gpufi cnn <lenet|yolo> <bitflip|syndrome|tmxm> [--injections N] "
       "[--db PATH] [--models DIR]\n"
       "  gpufi serve [--socket PATH] [--workers N] [--queue N] "
@@ -65,7 +69,13 @@ int usage() {
       "fast-forward / golden-convergence early-exit level (default full;\n"
       "results are byte-identical at every level).\n"
       "\n"
-      "exit codes: 0 success, 1 runtime failure, 2 usage error.\n");
+      "RTL commands also accept --fault-model transient|stuck0|stuck1|burst\n"
+      "(build-db takes a comma list), --fault-duration N (fault window in\n"
+      "cycles; 0 = permanent for non-transient models) and --burst-period N\n"
+      "(re-flip period of the burst model).\n"
+      "\n"
+      "exit codes: 0 success, 1 runtime failure, 2 usage error (including\n"
+      "a syndrome database with an incompatible schema version).\n");
   return 2;
 }
 
@@ -108,6 +118,12 @@ struct Options {
   std::string tile = "random";
   unsigned jobs = 0;  ///< 0 = GPUFI_JOBS env or hardware concurrency
   std::string accel = "full";
+  /// --fault-model raw value; single token for campaigns, comma list for
+  /// build-db. `fault_models` holds the validated parse.
+  std::string fault_model = "transient";
+  std::vector<rtl::FaultModel> fault_models = {rtl::FaultModel::Transient};
+  std::uint64_t fault_duration = 0;  ///< 0 = permanent (non-transient)
+  std::uint64_t burst_period = 8;
   // serve/submit/status options
   std::string socket = serve::kDefaultSocketPath;
   unsigned workers = 2;
@@ -187,6 +203,29 @@ struct Options {
           return std::nullopt;
         }
         o.accel = val;
+      } else if (key == "--fault-model") {
+        o.fault_models.clear();
+        std::size_t pos = 0;
+        while (pos <= val.size()) {
+          std::size_t comma = val.find(',', pos);
+          if (comma == std::string::npos) comma = val.size();
+          const std::string tok = val.substr(pos, comma - pos);
+          const auto m = vocab::parse_fault_model(tok);
+          if (!m) {
+            usage_error("unknown --fault-model '" + tok +
+                        "' (expected transient|stuck0|stuck1|burst)");
+            return std::nullopt;
+          }
+          o.fault_models.push_back(*m);
+          pos = comma + 1;
+        }
+        o.fault_model = val;
+      } else if (key == "--fault-duration") {
+        if (!number()) return std::nullopt;
+        o.fault_duration = n;
+      } else if (key == "--burst-period") {
+        if (!number()) return std::nullopt;
+        o.burst_period = n;
       } else {
         usage_error("unknown option " + key);
         return std::nullopt;
@@ -247,6 +286,8 @@ int cmd_rtl(int argc, char** argv) {
     return usage_error(std::string("unknown module '") + argv[3] + "'");
   const auto o = Options::parse(argc, argv, 4);
   if (!o) return 2;
+  if (o->fault_models.size() != 1)
+    return usage_error("gpufi rtl expects a single --fault-model");
   const auto range = *serve::parse_range(o->range);
   const auto w = rtlfi::make_microbenchmark(*op, range, o->seed);
   rtlfi::CampaignConfig cfg;
@@ -255,11 +296,16 @@ int cmd_rtl(int argc, char** argv) {
   cfg.seed = o->seed;
   cfg.jobs = o->jobs;
   cfg.acceleration = o->acceleration();
+  cfg.fault_model = o->fault_models[0];
+  cfg.fault_duration = o->fault_duration;
+  cfg.burst_period = o->burst_period;
   cfg.progress = stderr_progress("injections");
-  std::printf("== RTL campaign: %s on %s (%s inputs), %zu faults\n",
+  std::printf("== RTL campaign: %s on %s (%s inputs, %s faults), %zu faults\n",
               std::string(isa::mnemonic(*op)).c_str(),
               std::string(rtl::module_name(*module)).c_str(),
-              std::string(rtlfi::range_name(range)).c_str(), o->faults);
+              std::string(rtlfi::range_name(range)).c_str(),
+              std::string(rtl::fault_model_name(cfg.fault_model)).c_str(),
+              o->faults);
   print_campaign(rtlfi::run_campaign(w, cfg));
   return 0;
 }
@@ -271,6 +317,8 @@ int cmd_tmxm(int argc, char** argv) {
     return usage_error(std::string("unknown site '") + argv[2] + "'");
   const auto o = Options::parse(argc, argv, 3);
   if (!o) return 2;
+  if (o->fault_models.size() != 1)
+    return usage_error("gpufi tmxm expects a single --fault-model");
   const auto kind = *serve::parse_tile(o->tile);
   rtlfi::CampaignConfig cfg;
   cfg.module = *site;
@@ -278,6 +326,9 @@ int cmd_tmxm(int argc, char** argv) {
   cfg.seed = o->seed;
   cfg.jobs = o->jobs;
   cfg.acceleration = o->acceleration();
+  cfg.fault_model = o->fault_models[0];
+  cfg.fault_duration = o->fault_duration;
+  cfg.burst_period = o->burst_period;
   cfg.progress = stderr_progress("injections");
   std::printf("== t-MxM campaign: %s site, %s tile, %zu faults\n",
               std::string(rtl::module_name(*site)).c_str(),
@@ -306,9 +357,11 @@ int cmd_build_db(int argc, char** argv) {
   cfg.faults_per_campaign = o->faults;
   cfg.jobs = o->jobs;
   cfg.acceleration = o->acceleration();
+  cfg.fault_models = o->fault_models;
   cfg.progress = stderr_progress("campaigns");
-  std::printf("building syndrome database (%zu faults/campaign)...\n",
-              cfg.faults_per_campaign);
+  std::printf("building syndrome database (%zu faults/campaign, models: %s)"
+              "...\n",
+              cfg.faults_per_campaign, o->fault_model.c_str());
   const auto db = core::build_syndrome_database(cfg);
   db.save_file(argv[2]);
   std::printf("wrote %s (%zu distributions)\n", argv[2], db.keys().size());
@@ -321,38 +374,37 @@ int cmd_sw(int argc, char** argv) {
   const std::string model_name = argv[3];
   const auto o = Options::parse(argc, argv, 4);
   if (!o) return 2;
-  std::optional<apps::HpcApp> app;
-  if (app_name == "mxm") app = apps::make_mxm();
-  else if (app_name == "gaussian") app = apps::make_gaussian();
-  else if (app_name == "lud") app = apps::make_lud();
-  else if (app_name == "hotspot") app = apps::make_hotspot();
-  else if (app_name == "lava") app = apps::make_lava();
-  else if (app_name == "quicksort") app = apps::make_quicksort();
-  if (!app) return usage_error("unknown app '" + app_name + "'");
+  if (!vocab::is_known_app(app_name))
+    return usage_error("unknown app '" + app_name + "'");
+  const auto model = vocab::parse_sw_model(model_name);
+  if (!model) return usage_error("unknown fault model '" + model_name + "'");
+  const auto app = vocab::make_app(app_name);
   swfi::Config cfg;
+  cfg.model = *model;
   cfg.n_injections = o->injections;
   cfg.seed = o->seed;
   cfg.jobs = o->jobs;
   cfg.progress = stderr_progress("injections");
   std::optional<syndrome::Database> db;
-  if (model_name == "bitflip") cfg.model = swfi::FaultModel::SingleBitFlip;
-  else if (model_name == "doublebit")
-    cfg.model = swfi::FaultModel::DoubleBitFlip;
-  else if (model_name == "syndrome") {
-    cfg.model = swfi::FaultModel::RelativeError;
+  const bool needs_db = cfg.model == swfi::FaultModel::RelativeError ||
+                        cfg.model == swfi::FaultModel::WarpRelativeError ||
+                        cfg.model == swfi::FaultModel::StickyRelativeError;
+  if (needs_db) {
     core::RtlCharacterizationConfig dbcfg;
     dbcfg.jobs = o->jobs;
     dbcfg.progress = stderr_progress("campaigns");
     db = core::ensure_syndrome_database(o->db_path, dbcfg);
     cfg.db = &*db;
-  } else {
-    return usage_error("unknown fault model '" + model_name + "'");
+    // Sticky replay images a permanently stuck datapath FF: sample the
+    // stuck-at-1 syndrome class (transient fallback inside the database).
+    if (cfg.model == swfi::FaultModel::StickyRelativeError)
+      cfg.syndrome_model = rtl::FaultModel::StuckAt1;
   }
   std::printf("== software campaign: %s under %s, %zu injections\n",
-              app->app.name.c_str(),
+              app.app.name.c_str(),
               std::string(fault_model_name(cfg.model)).c_str(),
               o->injections);
-  const auto r = swfi::run_sw_campaign(app->app, cfg);
+  const auto r = swfi::run_sw_campaign(app.app, cfg);
   std::printf("candidates %llu\nPVF        %.3f +- %.3f\nSDC %zu / masked "
               "%zu / DUE %zu\n",
               static_cast<unsigned long long>(r.candidate_instructions),
@@ -453,8 +505,13 @@ int cmd_submit(int argc, char** argv) {
   }
   const auto o = Options::parse(argc, argv, first);
   if (!o) return 2;
+  if (o->fault_models.size() != 1)
+    return usage_error("gpufi submit expects a single --fault-model");
   spec.range = o->range;
   spec.tile = o->tile;
+  spec.fault_model = o->fault_model;
+  spec.fault_duration = o->fault_duration;
+  spec.burst_period = o->burst_period;
   spec.faults = o->faults;
   spec.injections = o->injections;
   spec.seed = o->seed;
@@ -518,6 +575,11 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "submit") return cmd_submit(argc, argv);
     if (cmd == "status") return cmd_status(argc, argv);
+  } catch (const syndrome::SchemaMismatch& e) {
+    // A stale database file is a configuration error, not a runtime crash:
+    // the fix is user action (regenerate), so it exits like a usage error.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -54,27 +54,41 @@ struct CampaignDesc {
   InputRange range = InputRange::Small;
   rtl::Module module = rtl::Module::Scheduler;
   TileKind kind = TileKind::Max;
+  rtl::FaultModel model = rtl::FaultModel::Transient;
 };
 
-std::vector<CampaignDesc> characterization_grid() {
+std::vector<CampaignDesc> characterization_grid(
+    const std::vector<rtl::FaultModel>& models) {
+  // Model-major: the transient block (micro grid + t-MxM) keeps exactly the
+  // grid indices of the transient-only era, so its derived seeds — and the
+  // transient slice of the database — are byte-identical. Extra models
+  // append whole micro grids after it; t-MxM patterns are characterized for
+  // Transient only (a permanent fault corrupts every tile, which carries no
+  // pattern information).
   std::vector<CampaignDesc> grid;
-  for (isa::Opcode op : kCharacterized)
-    for (unsigned r = 0; r < rtlfi::kNumRanges; ++r)
-      for (rtl::Module module : modules_for(op)) {
+  for (rtl::FaultModel model : models) {
+    for (isa::Opcode op : kCharacterized)
+      for (unsigned r = 0; r < rtlfi::kNumRanges; ++r)
+        for (rtl::Module module : modules_for(op)) {
+          CampaignDesc d;
+          d.op = op;
+          d.range = static_cast<InputRange>(r);
+          d.module = module;
+          d.model = model;
+          grid.push_back(d);
+        }
+    if (model != rtl::FaultModel::Transient) continue;
+    for (rtl::Module site :
+         {rtl::Module::Scheduler, rtl::Module::PipelineRegs})
+      for (TileKind kind :
+           {TileKind::Max, TileKind::Zero, TileKind::Random}) {
         CampaignDesc d;
-        d.op = op;
-        d.range = static_cast<InputRange>(r);
-        d.module = module;
+        d.tmxm = true;
+        d.module = site;
+        d.kind = kind;
         grid.push_back(d);
       }
-  for (rtl::Module site : {rtl::Module::Scheduler, rtl::Module::PipelineRegs})
-    for (TileKind kind : {TileKind::Max, TileKind::Zero, TileKind::Random}) {
-      CampaignDesc d;
-      d.tmxm = true;
-      d.module = site;
-      d.kind = kind;
-      grid.push_back(d);
-    }
+  }
   return grid;
 }
 
@@ -82,7 +96,8 @@ std::vector<CampaignDesc> characterization_grid() {
 
 syndrome::Database build_syndrome_database(
     const RtlCharacterizationConfig& cfg) {
-  const std::vector<CampaignDesc> grid = characterization_grid();
+  const std::vector<CampaignDesc> grid =
+      characterization_grid(cfg.fault_models);
 
   // Characterize in parallel across the grid (the inner trial loops run
   // serial: one campaign is small, the grid is the wide axis). Each
@@ -113,6 +128,7 @@ syndrome::Database build_syndrome_database(
       cc.seed = rng_derive(cfg.seed, i, v + 1);
       cc.jobs = 1;
       cc.acceleration = cfg.acceleration;
+      cc.fault_model = d.model;  // permanent window (duration 0 default)
       cc.cancel = cfg.cancel;
       merged.merge(rtlfi::run_campaign(w, cc));
     }
@@ -129,7 +145,8 @@ syndrome::Database build_syndrome_database(
     if (d.tmxm)
       db.add_tmxm_campaign(d.module, 8, 8, results[i]);
     else
-      db.add_campaign(syndrome::Key{d.module, d.op, d.range}, results[i]);
+      db.add_campaign(syndrome::Key{d.module, d.op, d.range, d.model},
+                      results[i]);
   }
   db.finalize();
   return db;

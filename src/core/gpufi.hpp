@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "exec/engine.hpp"
 #include "nn/network.hpp"
@@ -24,6 +25,13 @@ struct RtlCharacterizationConfig {
   unsigned jobs = 0;
   /// RTL hot-path acceleration (byte-identical results at every level).
   rtlfi::Acceleration acceleration = rtlfi::Acceleration::CheckpointEarlyExit;
+  /// Fault models characterized, one full micro-benchmark grid per model
+  /// (model-major; Transient must come first when present so the default
+  /// grid's indices — and thus every derived seed and the database bytes —
+  /// are unchanged from the transient-only era). Non-transient models use
+  /// permanent windows (duration 0); t-MxM pattern campaigns run for
+  /// Transient only.
+  std::vector<rtl::FaultModel> fault_models = {rtl::FaultModel::Transient};
   /// Optional telemetry (campaigns finished, campaigns/sec, ETA).
   exec::ProgressFn progress;
   /// Optional cooperative stop flag. A cancelled build throws (a partial

@@ -129,13 +129,47 @@ class Machine {
  private:
   // ------------------------------------------------------------- utilities
 
-  /// Advances the global clock by one cycle; applies the pending transient
-  /// (bit flip between cycles) and enforces the watchdog.
-  void tick() {
-    if (fault_ && fault_pending_ && cycle_ >= fault_->cycle) {
-      module_of(fault_->module).flip(fault_->bit);
+  /// Drives the injected fault at a clock edge. `fault_pending_` stays true
+  /// for as long as the fault can still act: until the flip for Transient,
+  /// until the window closes for the windowed models — and forever for a
+  /// permanent fault (duration 0), which is what keeps the convergence
+  /// early-exit gated off for the whole run.
+  void drive_fault() {
+    const FaultSpec& f = *fault_;
+    if (cycle_ < f.cycle) return;
+    if (f.model == FaultModel::Transient) {
+      module_of(f.module).flip(f.bit);
       fault_pending_ = false;
+      return;
     }
+    if (f.duration != 0 && cycle_ >= f.cycle + f.duration) {
+      // Window closed: the last forced/flipped value stays in the flip-flop
+      // until normal operation overwrites it (transient tail semantics).
+      fault_pending_ = false;
+      return;
+    }
+    switch (f.model) {
+      case FaultModel::StuckAt0:
+      case FaultModel::StuckAt1:
+        // Re-asserted at every clock edge inside the window, so any pipeline
+        // write to the flip-flop is overridden on the next edge.
+        module_of(f.module).force(f.bit, f.model == FaultModel::StuckAt1);
+        break;
+      case FaultModel::IntermittentBurst: {
+        const std::uint64_t period = std::max<std::uint64_t>(1, f.period);
+        if ((cycle_ - f.cycle) % period == 0)
+          module_of(f.module).flip(f.bit);
+        break;
+      }
+      case FaultModel::Transient:
+        break;  // handled above
+    }
+  }
+
+  /// Advances the global clock by one cycle; drives the injected fault
+  /// (between cycles) and enforces the watchdog.
+  void tick() {
+    if (fault_ && fault_pending_) drive_fault();
     ++cycle_;
     if (cycle_ > max_cycles_) throw WatchdogExc{};
     if (ctx_.record && capture_idx_ < ctx_.capture_at.size() &&
@@ -1381,9 +1415,13 @@ RunResult Sm::execute(const isa::Program& prog, const GridDims& dims,
   sfuctl_.reset();
   pipe_.reset();
   shared_.resize_clear(prog.shared_words);
+  // A faulted run is never unlimited: a scheduler stuck-at can loop the
+  // issue FSM forever, and a hang must classify as Watchdog (DUE).
+  const std::uint64_t bound =
+      max_cycles != 0 ? max_cycles
+                      : (fault ? kFaultyRunCycleCap : kUnlimitedCycles);
   Machine m(sched_, intfu_, fpfu_, sfu_, sfuctl_, pipe_, global_, regs_,
-            preds_, shared_, prog, dims, fault,
-            max_cycles == 0 ? kUnlimitedCycles : max_cycles, kPlainRun);
+            preds_, shared_, prog, dims, fault, bound, kPlainRun);
   return m.run();
 }
 
@@ -1448,8 +1486,18 @@ RunResult Sm::resume_with_fault(const isa::Program& prog, const GridDims& dims,
   ctx.check_interval = std::max<std::uint64_t>(1, check_interval);
   Machine m(sched_, intfu_, fpfu_, sfu_, sfuctl_, pipe_, global_, regs_,
             preds_, shared_, prog, dims, fault,
-            max_cycles == 0 ? kUnlimitedCycles : max_cycles, ctx);
+            max_cycles == 0 ? kFaultyRunCycleCap : max_cycles, ctx);
   return m.run();
+}
+
+std::string_view fault_model_name(FaultModel m) {
+  switch (m) {
+    case FaultModel::Transient: return "transient";
+    case FaultModel::StuckAt0: return "stuck-at-0";
+    case FaultModel::StuckAt1: return "stuck-at-1";
+    case FaultModel::IntermittentBurst: return "intermittent-burst";
+  }
+  return "?";
 }
 
 }  // namespace gpufi::rtl

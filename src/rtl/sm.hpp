@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -24,14 +25,56 @@ struct GridDims {
   unsigned ctas() const { return grid_x * grid_y; }
 };
 
-/// A single transient fault: flip `bit` of `module` when the global cycle
-/// counter reaches `cycle`. The flipped value persists until normal pipeline
-/// operation overwrites the flip-flop (transient fault semantics).
+/// How an injected fault manifests over time — the fault-model axis that
+/// generalizes the paper's single transient-flip assumption (the permanent /
+/// intermittent taxonomy of the follow-up control-unit studies).
+enum class FaultModel : std::uint8_t {
+  /// One bit flip at `cycle`; the flipped value persists only until normal
+  /// pipeline operation overwrites the flip-flop.
+  Transient,
+  /// The bit is forced to 0 at every clock edge inside the fault window
+  /// [cycle, cycle+duration) — any pipeline write is re-overridden on the
+  /// next edge. duration = 0 keeps the window open forever (permanent).
+  StuckAt0,
+  /// As StuckAt0 but forced to 1.
+  StuckAt1,
+  /// Intermittent burst: the bit is re-flipped every `period` cycles inside
+  /// the fault window (marginal-cell / noise-coupling behaviour).
+  IntermittentBurst,
+};
+
+/// Number of fault models.
+constexpr std::size_t kNumFaultModels = 4;
+
+/// Human-readable fault-model name ("transient", "stuck-at-0", ...).
+std::string_view fault_model_name(FaultModel m);
+
+/// A single injected fault: location (`module`, `bit`), activation cycle,
+/// and the temporal shape given by `model`/`duration`/`period`.
 struct FaultSpec {
   Module module = Module::PipelineRegs;
   std::uint32_t bit = 0;
   std::uint64_t cycle = 0;
+  FaultModel model = FaultModel::Transient;
+  /// Fault-window length in cycles for the non-transient models; 0 keeps
+  /// the window open forever (a permanent fault). Ignored for Transient.
+  std::uint64_t duration = 0;
+  /// Re-flip period of IntermittentBurst (cycles, minimum 1).
+  std::uint64_t period = 1;
+
+  /// True when the fault window never closes (non-transient, duration 0).
+  bool permanent() const {
+    return model != FaultModel::Transient && duration == 0;
+  }
 };
+
+/// Watchdog applied to faulty runs launched without an explicit cycle
+/// bound: a stuck-at in the scheduler can starve the issue FSM forever, so
+/// a faulted run is never truly unlimited — it classifies as a hang (DUE)
+/// once this many cycles elapse. Campaigns size a tighter bound from the
+/// golden cycle count; this cap only backstops direct run_with_fault /
+/// resume_with_fault calls.
+constexpr std::uint64_t kFaultyRunCycleCap = std::uint64_t{1} << 22;
 
 /// Terminal status of an RTL run.
 enum class RunStatus {

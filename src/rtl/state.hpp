@@ -155,6 +155,12 @@ class ModuleState {
            static_cast<std::int64_t>(sign);
   }
 
+  /// Stuck-at drive primitive: forces `bit` to `value`, a no-op when the
+  /// flip-flop already holds it (so the digest stays exact either way).
+  void force(std::size_t bit, bool value) {
+    if (bits_.get(bit) != value) flip(bit);
+  }
+
   /// The fault-injection primitive.
   void flip(std::size_t bit) {
     if (!track_) {

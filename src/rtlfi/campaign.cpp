@@ -115,9 +115,20 @@ void run_one_fault(rtl::Sm& sm, const Workload& w, const CampaignConfig& cfg,
   fault.module = cfg.module;
   fault.bit = static_cast<std::uint32_t>(rng.below(layout.bits()));
   fault.cycle = rng.below(golden_cycles);
+  // The temporal shape comes from the config, not the Rng: the transient
+  // draw sequence above is the byte-compatibility contract with earlier
+  // campaigns, and every model bombards the same (bit, cycle) sites.
+  fault.model = cfg.fault_model;
+  fault.duration = cfg.fault_duration;
+  fault.period = cfg.burst_period;
 
   rtl::RunResult run;
   if (trace) {
+    // Acceleration gating across models: floor() only returns rungs at
+    // cycles <= fault.cycle, i.e. strictly before the fault window opens,
+    // so the fast-forwarded prefix is fault-free for every model; the
+    // convergence early-exit is gated inside the machine on the window
+    // having closed (a permanent fault therefore never early-exits).
     const rtl::SmCheckpoint* from = trace->floor(fault.cycle);
     if (!from) throw std::logic_error("empty golden checkpoint ladder");
     run = sm.resume_with_fault(w.program, w.dims, fault, watchdog, *from,

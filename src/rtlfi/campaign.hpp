@@ -87,6 +87,15 @@ struct CampaignConfig {
   rtl::Module module = rtl::Module::Fp32Fu;
   std::size_t n_faults = 2000;
   std::uint64_t seed = 1;
+  /// Fault model every trial injects (the fault-model axis). The (bit,
+  /// cycle) location draws are identical across models, so campaigns that
+  /// differ only here bombard exactly the same fault sites.
+  rtl::FaultModel fault_model = rtl::FaultModel::Transient;
+  /// Fault-window length for the non-transient models; 0 = permanent (the
+  /// window never closes, so accelerated trials never early-exit).
+  std::uint64_t fault_duration = 0;
+  /// IntermittentBurst re-flip period in cycles.
+  std::uint64_t burst_period = 8;
   /// Watchdog = golden_cycles * factor + slack (hang detection).
   std::uint64_t watchdog_factor = 4;
   std::uint64_t watchdog_slack = 4096;

@@ -227,6 +227,9 @@ std::string encode_spec(const CampaignSpec& spec) {
   put_kv(out, "app", spec.app);
   put_kv(out, "model", spec.model);
   put_kv(out, "net", spec.net);
+  put_kv(out, "fault_model", spec.fault_model);
+  put_kv(out, "fault_duration", spec.fault_duration);
+  put_kv(out, "burst_period", spec.burst_period);
   put_kv(out, "faults", spec.faults);
   put_kv(out, "injections", spec.injections);
   put_kv(out, "seed", spec.seed);
@@ -270,6 +273,9 @@ std::optional<CampaignSpec> decode_spec(std::string_view payload,
         if (key == "app") { spec.app = value; return true; }
         if (key == "model") { spec.model = value; return true; }
         if (key == "net") { spec.net = value; return true; }
+        if (key == "fault_model") { spec.fault_model = value; return true; }
+        if (key == "fault_duration") return number(spec.fault_duration);
+        if (key == "burst_period") return number(spec.burst_period);
         if (key == "accel") { spec.accel = value; return true; }
         if (key == "db") { spec.db_path = value; return true; }
         if (key == "models") { spec.models_dir = value; return true; }
@@ -313,6 +319,8 @@ std::optional<CampaignSpec> decode_spec(std::string_view payload,
 std::optional<std::string> validate_spec(const CampaignSpec& spec) {
   if (!parse_acceleration(spec.accel))
     return "unknown accel level: " + spec.accel;
+  if (!parse_fault_model(spec.fault_model))
+    return "unknown fault model: " + spec.fault_model;
   switch (spec.kind) {
     case CampaignKind::Rtl:
       if (!parse_opcode(spec.op)) return "unknown opcode: " + spec.op;
@@ -336,64 +344,6 @@ std::optional<std::string> validate_spec(const CampaignSpec& spec) {
         return "unknown cnn fault model: " + spec.model;
       break;
   }
-  return std::nullopt;
-}
-
-bool is_known_app(std::string_view s) {
-  return s == "mxm" || s == "gaussian" || s == "lud" || s == "hotspot" ||
-         s == "lava" || s == "quicksort";
-}
-
-std::optional<isa::Opcode> parse_opcode(std::string_view s) {
-  for (unsigned i = 0; i < isa::kNumOpcodes; ++i) {
-    const auto op = static_cast<isa::Opcode>(i);
-    if (s == isa::mnemonic(op) && isa::is_characterized(op)) return op;
-  }
-  return std::nullopt;
-}
-
-std::optional<rtl::Module> parse_module(std::string_view s) {
-  if (s == "fp32") return rtl::Module::Fp32Fu;
-  if (s == "int") return rtl::Module::IntFu;
-  if (s == "sfu") return rtl::Module::Sfu;
-  if (s == "sfuctl") return rtl::Module::SfuCtl;
-  if (s == "sched") return rtl::Module::Scheduler;
-  if (s == "pipe") return rtl::Module::PipelineRegs;
-  return std::nullopt;
-}
-
-std::optional<rtlfi::InputRange> parse_range(std::string_view s) {
-  if (s == "S") return rtlfi::InputRange::Small;
-  if (s == "M") return rtlfi::InputRange::Medium;
-  if (s == "L") return rtlfi::InputRange::Large;
-  return std::nullopt;
-}
-
-std::optional<rtlfi::TileKind> parse_tile(std::string_view s) {
-  if (s == "max") return rtlfi::TileKind::Max;
-  if (s == "zero") return rtlfi::TileKind::Zero;
-  if (s == "random") return rtlfi::TileKind::Random;
-  return std::nullopt;
-}
-
-std::optional<rtlfi::Acceleration> parse_acceleration(std::string_view s) {
-  if (s == "none") return rtlfi::Acceleration::None;
-  if (s == "checkpoint") return rtlfi::Acceleration::Checkpoint;
-  if (s == "full") return rtlfi::Acceleration::CheckpointEarlyExit;
-  return std::nullopt;
-}
-
-std::optional<swfi::FaultModel> parse_sw_model(std::string_view s) {
-  if (s == "bitflip") return swfi::FaultModel::SingleBitFlip;
-  if (s == "doublebit") return swfi::FaultModel::DoubleBitFlip;
-  if (s == "syndrome") return swfi::FaultModel::RelativeError;
-  return std::nullopt;
-}
-
-std::optional<nn::CnnFaultModel> parse_cnn_model(std::string_view s) {
-  if (s == "bitflip") return nn::CnnFaultModel::SingleBitFlip;
-  if (s == "syndrome") return nn::CnnFaultModel::RelativeError;
-  if (s == "tmxm") return nn::CnnFaultModel::TiledMxM;
   return std::nullopt;
 }
 
@@ -444,6 +394,7 @@ std::string serialize_campaign_result(const CampaignSpec& spec,
                                       const rtlfi::CampaignResult& r) {
   std::string out;
   put_kv(out, "kind", campaign_kind_name(spec.kind));
+  put_kv(out, "fault_model", spec.fault_model);
   put_kv(out, "injected", r.injected);
   put_kv(out, "masked", r.masked);
   put_kv(out, "sdc_single", r.sdc_single);
@@ -503,9 +454,10 @@ std::string serialize_campaign_result(const CampaignSpec& spec,
     const auto module = parse_module(spec.module);
     const auto op = parse_opcode(spec.op);
     const auto range = parse_range(spec.range);
-    if (!module || !op || !range)
+    const auto model = parse_fault_model(spec.fault_model);
+    if (!module || !op || !range || !model)
       throw std::invalid_argument("bad rtl spec for serialization");
-    db.add_campaign(syndrome::Key{*module, *op, *range}, r);
+    db.add_campaign(syndrome::Key{*module, *op, *range, *model}, r);
   }
   db.finalize();
   std::ostringstream dbos;

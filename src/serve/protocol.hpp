@@ -30,6 +30,7 @@
 #include "rtlfi/campaign.hpp"
 #include "rtlfi/microbench.hpp"
 #include "swfi/swfi.hpp"
+#include "vocab/vocab.hpp"
 
 namespace gpufi::serve {
 
@@ -122,6 +123,11 @@ struct CampaignSpec {
   std::string app = "mxm";        ///< sw: application name
   std::string model = "bitflip";  ///< sw: fault model / cnn: fault model
   std::string net = "lenet";      ///< cnn: lenet|yolo
+  /// rtl/tmxm: RTL fault model (transient|stuck0|stuck1|burst); also the
+  /// syndrome class the sw `sticky` model replays.
+  std::string fault_model = "transient";
+  std::uint64_t fault_duration = 0;  ///< rtl: window cycles; 0 = permanent
+  std::uint64_t burst_period = 8;    ///< rtl: burst re-flip period
   std::size_t faults = 2000;      ///< rtl/tmxm trial count
   std::size_t injections = 300;   ///< sw/cnn trial count
   std::uint64_t seed = 1;
@@ -151,16 +157,18 @@ std::optional<CampaignSpec> decode_spec(std::string_view payload,
 /// kind uses). Returns an error message, or nullopt when the spec is sound.
 std::optional<std::string> validate_spec(const CampaignSpec& spec);
 
-// Vocabulary parsers shared by the CLI and the server dispatch.
-/// True when `s` names one of the HPC applications of `gpufi sw`.
-bool is_known_app(std::string_view s);
-std::optional<isa::Opcode> parse_opcode(std::string_view s);
-std::optional<rtl::Module> parse_module(std::string_view s);
-std::optional<rtlfi::InputRange> parse_range(std::string_view s);
-std::optional<rtlfi::TileKind> parse_tile(std::string_view s);
-std::optional<rtlfi::Acceleration> parse_acceleration(std::string_view s);
-std::optional<swfi::FaultModel> parse_sw_model(std::string_view s);
-std::optional<nn::CnnFaultModel> parse_cnn_model(std::string_view s);
+// Vocabulary parsers shared by the CLI and the server dispatch — one
+// definition in vocab/, aliased here so existing call sites keep reading
+// serve::parse_*.
+using vocab::is_known_app;
+using vocab::parse_acceleration;
+using vocab::parse_cnn_model;
+using vocab::parse_fault_model;
+using vocab::parse_module;
+using vocab::parse_opcode;
+using vocab::parse_range;
+using vocab::parse_sw_model;
+using vocab::parse_tile;
 
 // ---------------------------------------------------------------------------
 // Progress payload.

@@ -15,10 +15,10 @@
 #include <thread>
 #include <vector>
 
-#include "apps/apps.hpp"
 #include "core/gpufi.hpp"
 #include "nn/gpu_infer.hpp"
 #include "serve/queue.hpp"
+#include "vocab/vocab.hpp"
 
 namespace gpufi::serve {
 
@@ -60,19 +60,12 @@ rtlfi::CampaignConfig campaign_config(const CampaignSpec& spec,
   cc.seed = spec.seed;
   cc.jobs = spec.jobs;
   cc.acceleration = *parse_acceleration(spec.accel);
+  cc.fault_model = *parse_fault_model(spec.fault_model);
+  cc.fault_duration = spec.fault_duration;
+  cc.burst_period = spec.burst_period;
   cc.progress = progress;
   cc.cancel = cancel;
   return cc;
-}
-
-apps::HpcApp make_app(const std::string& name) {
-  if (name == "mxm") return apps::make_mxm();
-  if (name == "gaussian") return apps::make_gaussian();
-  if (name == "lud") return apps::make_lud();
-  if (name == "hotspot") return apps::make_hotspot();
-  if (name == "lava") return apps::make_lava();
-  if (name == "quicksort") return apps::make_quicksort();
-  throw std::invalid_argument("unknown app: " + name);
 }
 
 }  // namespace
@@ -108,7 +101,7 @@ std::string run_spec(const CampaignSpec& spec, Caches& caches,
       return serialize_campaign_result(spec, r);
     }
     case CampaignKind::Sw: {
-      const auto app = make_app(spec.app);
+      const auto app = vocab::make_app(spec.app);
       swfi::Config cfg;
       cfg.model = *parse_sw_model(spec.model);
       cfg.n_injections = spec.injections;
@@ -117,10 +110,16 @@ std::string run_spec(const CampaignSpec& spec, Caches& caches,
       cfg.progress = progress;
       cfg.cancel = cancel;
       std::shared_ptr<const syndrome::Database> db;
-      if (cfg.model == swfi::FaultModel::RelativeError) {
+      if (cfg.model == swfi::FaultModel::RelativeError ||
+          cfg.model == swfi::FaultModel::WarpRelativeError ||
+          cfg.model == swfi::FaultModel::StickyRelativeError) {
         db = caches.syndrome_db(spec.db_path, spec.jobs);
         throw_if_stopped(cancel);  // the shared build may outlive a deadline
         cfg.db = db.get();
+        // Sticky replay images a stuck-at fault: sample that syndrome class
+        // (falls back to transient inside the database when absent).
+        if (cfg.model == swfi::FaultModel::StickyRelativeError)
+          cfg.syndrome_model = rtl::FaultModel::StuckAt1;
       }
       const auto r = swfi::run_sw_campaign(app.app, cfg);
       throw_if_stopped(cancel);

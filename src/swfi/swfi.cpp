@@ -18,6 +18,7 @@ std::string_view fault_model_name(FaultModel m) {
     case FaultModel::DoubleBitFlip: return "double bit-flip";
     case FaultModel::RelativeError: return "relative error";
     case FaultModel::WarpRelativeError: return "warp relative error";
+    case FaultModel::StickyRelativeError: return "sticky relative error";
   }
   return "?";
 }
@@ -38,17 +39,27 @@ void ProfileHook::on_pred_retire(const emu::RetireInfo& info, bool&) {
 
 InjectHook::InjectHook(FaultModel model, std::uint64_t target,
                        std::uint64_t seed, const syndrome::Database* db,
-                       bool memory_is_float)
+                       bool memory_is_float, rtl::FaultModel syndrome_model)
     : model_(model),
       target_(target),
       rng_(seed),
       db_(db),
-      memory_is_float_(memory_is_float) {}
+      memory_is_float_(memory_is_float),
+      syndrome_model_(syndrome_model) {}
 
 bool InjectHook::take_shot(const emu::RetireInfo& info) {
   const Opcode op = info.instr->op;
   if (!ProfileHook::is_candidate(op)) return false;
   if (fired_) {
+    // Sticky (stuck-at) model: a permanently broken flip-flop keeps
+    // corrupting the same static instruction, so every later retirement of
+    // the hit pc — any thread, including loop re-executions — fires again,
+    // up to kStickyMaxHits.
+    if (model_ == FaultModel::StickyRelativeError) {
+      if (info.pc != hit_pc_ || hits_ >= kStickyMaxHits) return false;
+      ++hits_;
+      return true;
+    }
     // Warp-level model: the emulator retires a warp instruction lane by
     // lane, so corrupting "the rest of the warp" means continuing to fire
     // while the same (CTA, warp, pc) instruction keeps retiring. Any other
@@ -88,6 +99,7 @@ std::uint32_t InjectHook::corrupt_value(const emu::RetireInfo& info,
     }
     case FaultModel::RelativeError:
     case FaultModel::WarpRelativeError:
+    case FaultModel::StickyRelativeError:
       break;
   }
   // RTL-syndrome relative error: the magnitude range is classified from the
@@ -113,7 +125,9 @@ std::uint32_t InjectHook::corrupt_value(const emu::RetireInfo& info,
   }
   double rel = 1.0;
   if (db_) {
-    if (const auto s = db_->sample_relative_error(op, range, rng_)) rel = *s;
+    if (const auto s =
+            db_->sample_relative_error(op, range, rng_, syndrome_model_))
+      rel = *s;
   }
   applied_rel_ = rel;
   const double sign = rng_.chance(0.5) ? 1.0 : -1.0;
@@ -177,7 +191,7 @@ Result run_sw_campaign(const App& app, const Config& cfg) {
       [&](int&, std::size_t, Rng& rng, Result& shard) {
         const std::uint64_t target = rng.below(candidates);
         InjectHook hook(cfg.model, target, rng(), cfg.db,
-                        app.memory_is_float);
+                        app.memory_is_float, cfg.syndrome_model);
         emu::Device dev(app.device_words);
         const bool ok = app.run(dev, &hook);
         ++shard.injections;

@@ -24,6 +24,12 @@ enum class FaultModel : std::uint8_t {
   /// thread of its warp, each with an independently sampled relative error
   /// — the software image of a scheduler-class whole-warp fault.
   WarpRelativeError,
+  /// Stuck-at replay: after the first shot, re-corrupts EVERY subsequent
+  /// retirement of the same static instruction (same pc, any thread) with a
+  /// freshly sampled relative error from the stuck-at syndrome class — the
+  /// software image of a permanently stuck datapath flip-flop feeding that
+  /// instruction. Capped at kStickyMaxHits corruptions.
+  StickyRelativeError,
 };
 
 std::string_view fault_model_name(FaultModel m);
@@ -66,7 +72,11 @@ class ProfileHook : public emu::InstrumentHook {
 class InjectHook : public emu::InstrumentHook {
  public:
   InjectHook(FaultModel model, std::uint64_t target, std::uint64_t seed,
-             const syndrome::Database* db, bool memory_is_float);
+             const syndrome::Database* db, bool memory_is_float,
+             rtl::FaultModel syndrome_model = rtl::FaultModel::Transient);
+
+  /// Cap on sticky-model re-corruptions (bounds hot-loop blowup).
+  static constexpr unsigned kStickyMaxHits = 4096;
 
   void on_retire(const emu::RetireInfo& info, std::uint32_t& value) override;
   void on_pred_retire(const emu::RetireInfo& info, bool& value) override;
@@ -91,6 +101,7 @@ class InjectHook : public emu::InstrumentHook {
   Rng rng_;
   const syndrome::Database* db_;
   bool memory_is_float_;
+  rtl::FaultModel syndrome_model_;
   bool fired_ = false;
   unsigned hits_ = 0;
   isa::Opcode hit_op_ = isa::Opcode::NOP;
@@ -106,6 +117,11 @@ class InjectHook : public emu::InstrumentHook {
 struct Config {
   FaultModel model = FaultModel::SingleBitFlip;
   const syndrome::Database* db = nullptr;  ///< required for RelativeError
+  /// Which RTL fault-model syndrome class the relative-error models sample
+  /// from (falls back to Transient inside the database when the class was
+  /// never characterized). StickyRelativeError campaigns typically set
+  /// StuckAt1 to replay the stuck-at syndromes they image.
+  rtl::FaultModel syndrome_model = rtl::FaultModel::Transient;
   std::size_t n_injections = 500;
   std::uint64_t seed = 1;
   /// Injection-loop parallelism: 0 resolves to ThreadPool::default_jobs()

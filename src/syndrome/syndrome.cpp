@@ -13,6 +13,13 @@
 
 namespace gpufi::syndrome {
 
+SchemaMismatch::SchemaMismatch(int found, int expected)
+    : std::runtime_error("syndrome db: schema version " +
+                         std::to_string(found) + ", expected " +
+                         std::to_string(expected) +
+                         " — regenerate with `gpufi build-db`"),
+      found_(found) {}
+
 void Dist::add(double rel_error) {
   if (!(rel_error > 0.0) || !std::isfinite(rel_error)) {
     // Zero/invalid relative errors carry no syndrome information.
@@ -162,15 +169,28 @@ const Dist* Database::find(const Key& key) const {
 }
 
 std::optional<double> Database::sample_relative_error(
-    isa::Opcode op, rtlfi::InputRange range, Rng& rng) const {
-  // Pool modules for this (op, range), weighted by observed SDC counts.
+    isa::Opcode op, rtlfi::InputRange range, Rng& rng,
+    rtl::FaultModel model) const {
+  // Pool modules for this (op, range, model), weighted by observed SDC
+  // counts. When the requested fault-model class was never characterized
+  // for this opcode, fall back to the transient class — the transient grid
+  // is always built first and most densely.
   std::vector<const Dist*> pool;
   std::size_t total = 0;
-  for (const auto& [key, dist] : dists_) {
-    if (key.op != op || key.range != range || dist.count() == 0) continue;
-    pool.push_back(&dist);
-    total += dist.count();
-  }
+  const auto build_pool = [&](rtl::FaultModel m) {
+    pool.clear();
+    total = 0;
+    for (const auto& [key, dist] : dists_) {
+      if (key.op != op || key.range != range || key.model != m ||
+          dist.count() == 0)
+        continue;
+      pool.push_back(&dist);
+      total += dist.count();
+    }
+  };
+  build_pool(model);
+  if (total == 0 && model != rtl::FaultModel::Transient)
+    build_pool(rtl::FaultModel::Transient);
   if (total == 0) return std::nullopt;
   std::size_t target = rng.below(total);
   for (const Dist* d : pool) {
@@ -335,11 +355,12 @@ void Database::save(std::ostream& os) const {
   // max_digits10 makes the double<->text round trip lossless, so a loaded
   // database samples exactly what the in-memory one did.
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
-  os << "gpufi-syndrome-db 1\n";
+  os << "gpufi-syndrome-db " << kSchemaVersion << '\n';
   os << dists_.size() << '\n';
   for (const auto& [key, dist] : dists_) {
     os << static_cast<int>(key.module) << ' ' << static_cast<int>(key.op)
-       << ' ' << static_cast<int>(key.range) << '\n';
+       << ' ' << static_cast<int>(key.range) << ' '
+       << static_cast<int>(key.model) << '\n';
     save_dist(os, dist);
   }
   save_tmxm(os, tmxm_scheduler_);
@@ -351,15 +372,17 @@ Database Database::load(std::istream& is) {
   std::string magic;
   int version = 0;
   is >> magic >> version;
-  if (magic != "gpufi-syndrome-db" || version != 1)
+  if (magic != "gpufi-syndrome-db")
     throw std::runtime_error("syndrome db: bad header");
+  if (version != kSchemaVersion) throw SchemaMismatch(version, kSchemaVersion);
   std::size_t n = 0;
   is >> n;
   for (std::size_t i = 0; i < n; ++i) {
-    int m, o, r;
-    is >> m >> o >> r;
+    int m, o, r, fm;
+    is >> m >> o >> r >> fm;
     Key key{static_cast<rtl::Module>(m), static_cast<isa::Opcode>(o),
-            static_cast<rtlfi::InputRange>(r)};
+            static_cast<rtlfi::InputRange>(r),
+            static_cast<rtl::FaultModel>(fm)};
     db.dists_[key] = load_dist(is);
   }
   db.tmxm_scheduler_ = load_tmxm(is);

@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,15 +18,29 @@
 
 namespace gpufi::syndrome {
 
-/// Key of a syndrome distribution: the paper selects the fault model to
-/// inject based on the corrupted module, the instruction opcode, and the
-/// operand magnitude range.
+/// Key of a syndrome distribution: the paper selects the error to inject
+/// based on the corrupted module, the instruction opcode, and the operand
+/// magnitude range; schema v2 additionally keys by the RTL fault model, so
+/// stuck-at and transient syndromes of the same site stay separate classes.
 struct Key {
   rtl::Module module = rtl::Module::Fp32Fu;
   isa::Opcode op = isa::Opcode::FADD;
   rtlfi::InputRange range = rtlfi::InputRange::Medium;
+  rtl::FaultModel model = rtl::FaultModel::Transient;
 
   auto operator<=>(const Key&) const = default;
+};
+
+/// Thrown when a database file's schema version does not match
+/// Database::kSchemaVersion. A stale incompatible file must hard-error
+/// (the CLI maps this to exit code 2), never be silently reinterpreted.
+class SchemaMismatch : public std::runtime_error {
+ public:
+  SchemaMismatch(int found, int expected);
+  int found() const { return found_; }
+
+ private:
+  int found_;
 };
 
 /// Distribution of the relative error a fault imposes on one instruction's
@@ -146,10 +161,14 @@ class Database {
 
   /// Samples a relative error for (op, range) pooling all modules, weighted
   /// by their observed SDC counts — the paper's "cocktail of fault
-  /// syndromes". Returns nullopt if the opcode was never characterized.
-  std::optional<double> sample_relative_error(isa::Opcode op,
-                                              rtlfi::InputRange range,
-                                              Rng& rng) const;
+  /// syndromes". `model` selects the fault-model syndrome class; when that
+  /// class was never characterized for the opcode, sampling falls back to
+  /// the transient class (documented fallback: the transient grid is always
+  /// built first and most densely). Returns nullopt if the opcode was never
+  /// characterized at all.
+  std::optional<double> sample_relative_error(
+      isa::Opcode op, rtlfi::InputRange range, Rng& rng,
+      rtl::FaultModel model = rtl::FaultModel::Transient) const;
 
   /// t-MxM pattern statistics per site.
   const TilePatternStats& tmxm(rtl::Module site) const;
@@ -164,7 +183,13 @@ class Database {
   /// All keys present (deterministic order).
   std::vector<Key> keys() const;
 
-  /// Plain-text (de)serialization of the whole database.
+  /// On-disk schema version written/required by save/load. v2 added the
+  /// fault-model column to every distribution key.
+  static constexpr int kSchemaVersion = 2;
+
+  /// Plain-text (de)serialization of the whole database. load throws
+  /// std::runtime_error on garbage and SchemaMismatch on a well-formed
+  /// header with the wrong version.
   void save(std::ostream& os) const;
   static Database load(std::istream& is);
   void save_file(const std::string& path) const;

@@ -43,6 +43,47 @@ TEST_F(CoreFacade, BuildDatabaseCoversTheFullGrid) {
             0u);
 }
 
+TEST_F(CoreFacade, BuildDatabaseMultiModelGridAppendsModelBlocks) {
+  // Extra fault models append 102-key micro blocks after the transient
+  // block (t-MxM campaigns are characterized transiently only), and the
+  // transient block keeps its grid indices — hence its derived seeds, hence
+  // its distributions — bit for bit.
+  auto cfg = tiny_cfg();
+  const auto transient_only = build_syndrome_database(cfg);
+  cfg.fault_models = {rtl::FaultModel::Transient, rtl::FaultModel::StuckAt1};
+  const auto both = build_syndrome_database(cfg);
+  EXPECT_EQ(both.keys().size(), 204u);
+  std::size_t stuck_keys = 0;
+  for (const auto& k : both.keys())
+    if (k.model == rtl::FaultModel::StuckAt1) ++stuck_keys;
+  EXPECT_EQ(stuck_keys, 102u);
+  const syndrome::Key probe{rtl::Module::Fp32Fu, isa::Opcode::FADD,
+                            rtlfi::InputRange::Medium};
+  ASSERT_NE(both.find(probe), nullptr);
+  ASSERT_NE(transient_only.find(probe), nullptr);
+  EXPECT_EQ(both.find(probe)->count(), transient_only.find(probe)->count());
+  if (both.find(probe)->count() > 0)
+    EXPECT_EQ(both.find(probe)->median(), transient_only.find(probe)->median());
+}
+
+TEST_F(CoreFacade, BuildDatabaseCancellationThrowsInsteadOfTruncating) {
+  // A cancelled characterization must never masquerade as a complete
+  // database: both a pre-stopped token and one tripped mid-grid via the
+  // progress callback surface as an error, not a short DB.
+  auto cfg = tiny_cfg();
+  exec::CancelToken pre;
+  pre.cancel();
+  cfg.cancel = &pre;
+  EXPECT_THROW(build_syndrome_database(cfg), std::runtime_error);
+
+  exec::CancelToken mid;
+  cfg.cancel = &mid;
+  cfg.progress = [&](const exec::Progress& p) {
+    if (p.done >= 3) mid.cancel();
+  };
+  EXPECT_THROW(build_syndrome_database(cfg), std::runtime_error);
+}
+
 TEST_F(CoreFacade, EnsureDatabaseCaches) {
   const auto path = (dir_ / "db.txt").string();
   const auto db1 = ensure_syndrome_database(path, tiny_cfg());

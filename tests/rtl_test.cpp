@@ -437,6 +437,96 @@ TEST(SmFault, SfuControllerFaultCanCorruptOrHang) {
   EXPECT_GT(effects, 0);
 }
 
+// ------------------------------------------------------ fault models
+
+TEST(SmFaultModel, NamesAndPermanence) {
+  EXPECT_EQ(fault_model_name(FaultModel::Transient), "transient");
+  EXPECT_EQ(fault_model_name(FaultModel::StuckAt0), "stuck-at-0");
+  EXPECT_EQ(fault_model_name(FaultModel::StuckAt1), "stuck-at-1");
+  EXPECT_EQ(fault_model_name(FaultModel::IntermittentBurst),
+            "intermittent-burst");
+  FaultSpec f;
+  EXPECT_FALSE(f.permanent());  // transient is never permanent
+  f.model = FaultModel::StuckAt1;
+  EXPECT_TRUE(f.permanent());  // duration 0 = forever
+  f.duration = 10;
+  EXPECT_FALSE(f.permanent());
+}
+
+TEST(SmFaultModel, BurstWithUnitWindowMatchesTransient) {
+  // An intermittent burst whose window is one cycle flips exactly once at
+  // fault.cycle — it must be indistinguishable from the transient model,
+  // status and output words alike, at every site.
+  const Program p = fp_chain_kernel();
+  Sm probe(128);
+  const auto cycles = probe.run(p, GridDims{1, 1, 64, 1}).cycles;
+  const auto bits = layouts().fp32_fu.layout.bits();
+  Rng rng(606);
+  for (int i = 0; i < 40; ++i) {
+    FaultSpec f{Module::Fp32Fu, static_cast<std::uint32_t>(rng.below(bits)),
+                rng.below(cycles)};
+    const auto [ts, td] = inject_once(p, 64, 128, f);
+    f.model = FaultModel::IntermittentBurst;
+    f.duration = 1;
+    f.period = 7;  // irrelevant within a one-cycle window
+    const auto [bs, bd] = inject_once(p, 64, 128, f);
+    EXPECT_EQ(ts, bs) << "bit " << f.bit << " cycle " << f.cycle;
+    EXPECT_EQ(td, bd) << "bit " << f.bit << " cycle " << f.cycle;
+  }
+}
+
+Program counting_loop_kernel() {
+  KernelBuilder kb("loopy");
+  kb.mov(0, S(SReg::TID_X));
+  kb.movi(1, 0);
+  kb.movi(2, 0);
+  kb.loop_begin();
+  kb.isetp(0, CmpOp::LT, R(1), I(8));
+  kb.loop_while(0);
+  kb.iadd(2, R(2), R(1));
+  kb.iadd(1, R(1), I(1));
+  kb.loop_end();
+  kb.gst(R(0), R(2));
+  return kb.build();
+}
+
+TEST(SmFaultModel, StuckAt1WedgesTheSchedulerWhereTransientCompletes) {
+  // Scheduler bit 32 sits in the warp's branch/stack PC state. On a loop,
+  // that state is rewritten every iteration, so a transient flip is flushed
+  // and the kernel completes; a stuck-at-1 re-asserts on every clock edge,
+  // the loop PC can never advance past it, and the run must hang into the
+  // watchdog. This is the behavioural gap between the two fault models.
+  const Program p = counting_loop_kernel();
+  Sm probe(128);
+  const auto cycles = probe.run(p, GridDims{1, 1, 64, 1}).cycles;
+
+  FaultSpec f{Module::Scheduler, 32, 0};
+  f.model = FaultModel::StuckAt1;
+  Sm stuck(128);
+  const auto sr = stuck.run_with_fault(p, GridDims{1, 1, 64, 1}, f,
+                                       cycles * 4 + 2048);
+  EXPECT_EQ(sr.status, RunStatus::Watchdog);
+
+  f.model = FaultModel::Transient;
+  Sm trans(128);
+  const auto tr = trans.run_with_fault(p, GridDims{1, 1, 64, 1}, f,
+                                       cycles * 4 + 2048);
+  EXPECT_EQ(tr.status, RunStatus::Ok);
+}
+
+TEST(SmFaultModel, FaultyRunCycleCapBoundsHangingRuns) {
+  // A faulty run launched with max_cycles=0 must not spin for 2^62 cycles
+  // on a permanently wedged scheduler: the kFaultyRunCycleCap watchdog
+  // converts the hang into a classifiable Watchdog/DUE.
+  const Program p = fp_chain_kernel();
+  FaultSpec f{Module::Scheduler, 468, 0};
+  f.model = FaultModel::StuckAt1;
+  Sm sm(128);
+  const auto r = sm.run_with_fault(p, GridDims{1, 1, 64, 1}, f, 0);
+  EXPECT_EQ(r.status, RunStatus::Watchdog);
+  EXPECT_LE(r.cycles, kFaultyRunCycleCap + 1);
+}
+
 TEST(SmFault, FaultyRunLeavesNoPermanentState) {
   // After a faulty run, a fresh golden run on the same Sm must be clean
   // (the flip-flop banks are reset per run; only memory carries over).

@@ -40,7 +40,9 @@ std::vector<Case> cases() {
   return cs;
 }
 
-CampaignResult run_mode(const Case& c, Acceleration accel, unsigned jobs) {
+CampaignResult run_mode(const Case& c, Acceleration accel, unsigned jobs,
+                        rtl::FaultModel model = rtl::FaultModel::Transient,
+                        std::uint64_t duration = 0) {
   CampaignConfig cfg;
   cfg.module = c.module;
   cfg.n_faults = c.n_faults;
@@ -48,21 +50,26 @@ CampaignResult run_mode(const Case& c, Acceleration accel, unsigned jobs) {
   cfg.jobs = jobs;
   cfg.keep_all_records = true;
   cfg.acceleration = accel;
+  cfg.fault_model = model;
+  cfg.fault_duration = duration;
   return run_campaign(c.workload, cfg);
 }
 
 /// Serializes the campaign into the downstream artifact (the syndrome DB)
 /// so the comparison covers exactly the bytes the two-level hand-off uses.
-std::string db_bytes(const Case& c, const CampaignResult& r) {
+std::string db_bytes(const Case& c, const CampaignResult& r,
+                     rtl::FaultModel model = rtl::FaultModel::Transient) {
   syndrome::Database db;
-  db.add_campaign(syndrome::Key{c.module, c.op, InputRange::Medium}, r);
+  db.add_campaign(syndrome::Key{c.module, c.op, InputRange::Medium, model},
+                  r);
   std::ostringstream os;
   db.save(os);
   return os.str();
 }
 
 void expect_identical(const Case& c, const CampaignResult& base,
-                      const CampaignResult& other, const std::string& what) {
+                      const CampaignResult& other, const std::string& what,
+                      rtl::FaultModel model = rtl::FaultModel::Transient) {
   SCOPED_TRACE(c.workload.name + " vs " + what);
   EXPECT_EQ(base.injected, other.injected);
   EXPECT_EQ(base.masked, other.masked);
@@ -92,7 +99,7 @@ void expect_identical(const Case& c, const CampaignResult& base,
       EXPECT_EQ(a.diffs[d].faulty, b.diffs[d].faulty);
     }
   }
-  EXPECT_EQ(db_bytes(c, base), db_bytes(c, other));
+  EXPECT_EQ(db_bytes(c, base, model), db_bytes(c, other, model));
 }
 
 TEST(CampaignEquivalence, AccelerationAndJobsInvariant) {
@@ -121,6 +128,85 @@ TEST(CampaignEquivalence, EarlyExitActuallyFires) {
   const auto r = run_mode(cs.front(), Acceleration::CheckpointEarlyExit, 1);
   EXPECT_GT(r.converged_early, 0u);
   EXPECT_LE(r.converged_early, r.masked);
+}
+
+TEST(CampaignEquivalence, FaultModelsInvariantAcrossAccelAndJobs) {
+  // The determinism contract extends to every fault model: counters,
+  // records and the distilled database bytes must be byte-identical across
+  // acceleration levels and job counts for stuck-at and burst campaigns
+  // too. A smaller case subset keeps the watchdog-bound stuck-at runs
+  // affordable.
+  const auto all = cases();
+  const Case model_cases[] = {all[0], all[5]};  // FFMA/fp32, BRA/sched
+  const rtl::FaultModel models[] = {rtl::FaultModel::StuckAt0,
+                                    rtl::FaultModel::StuckAt1,
+                                    rtl::FaultModel::IntermittentBurst};
+  for (const auto& c : model_cases) {
+    for (const auto model : models) {
+      SCOPED_TRACE(std::string(rtl::fault_model_name(model)));
+      const CampaignResult base =
+          run_mode(c, Acceleration::None, 1, model);
+      expect_identical(c, base, run_mode(c, Acceleration::None, 4, model),
+                       "none/jobs=4", model);
+      expect_identical(c, base,
+                       run_mode(c, Acceleration::Checkpoint, 4, model),
+                       "checkpoint/jobs=4", model);
+      expect_identical(
+          c, base, run_mode(c, Acceleration::CheckpointEarlyExit, 1, model),
+          "full/jobs=1", model);
+      expect_identical(
+          c, base, run_mode(c, Acceleration::CheckpointEarlyExit, 4, model),
+          "full/jobs=4", model);
+    }
+  }
+}
+
+TEST(CampaignEquivalence, PermanentFaultsNeverEarlyExit) {
+  // A permanent stuck-at never quiesces, so the golden-convergence check
+  // must never fire — early exit is only sound once the fault window has
+  // closed.
+  const auto cs = cases();
+  for (const auto model :
+       {rtl::FaultModel::StuckAt0, rtl::FaultModel::StuckAt1}) {
+    const auto r =
+        run_mode(cs.front(), Acceleration::CheckpointEarlyExit, 1, model);
+    EXPECT_EQ(r.converged_early, 0u);
+  }
+  // A *windowed* stuck-at (duration bounded) may converge after the window
+  // closes; with a 1-cycle window it behaves nearly transiently and the
+  // early exit must fire again.
+  const auto windowed = run_mode(
+      cs.front(), Acceleration::CheckpointEarlyExit, 1,
+      rtl::FaultModel::StuckAt1, /*duration=*/1);
+  EXPECT_GT(windowed.converged_early, 0u);
+}
+
+TEST(StuckAtAcceptance, SchedulerStuckAt1ProducesHangsTransientDoesNot) {
+  // The acceptance criterion of the fault-model axis: a stuck-at-1 campaign
+  // on the warp-scheduler FF bank must produce at least one Hang/DUE
+  // outcome class (watchdog-expired DUE) that the transient campaign on the
+  // same module never shows — a permanently wedged scheduler cannot retire.
+  // The t-MxM mini-app on the scheduler: its loops, barriers and per-warp
+  // control state give a wedged scheduler FF (warp_state, stack_pc,
+  // fetch_pc) something to hang. 200 deterministic draws at seed 99 hit at
+  // least one such bit; determinism makes this stable, not flaky.
+  const Case sched{make_tmxm(TileKind::Random, 5), rtl::Module::Scheduler,
+                   isa::Opcode::FFMA, 200};
+  const auto transient = run_mode(sched, Acceleration::Checkpoint, 4);
+  const auto stuck1 =
+      run_mode(sched, Acceleration::Checkpoint, 4, rtl::FaultModel::StuckAt1);
+
+  const auto hangs = [](const CampaignResult& r) {
+    std::size_t n = 0;
+    for (const auto& rec : r.records)
+      if (rec.outcome == Outcome::Due &&
+          rec.due_reason.find("watchdog") != std::string::npos)
+        ++n;
+    return n;
+  };
+  EXPECT_EQ(hangs(transient), 0u);
+  EXPECT_GT(hangs(stuck1), 0u);
+  EXPECT_GT(stuck1.due, transient.due);
 }
 
 }  // namespace

@@ -188,6 +188,9 @@ TEST(Protocol, SpecRoundTripsEveryField) {
   spec.app = "hotspot";
   spec.model = "syndrome";
   spec.net = "yolo";
+  spec.fault_model = "burst";
+  spec.fault_duration = 64;
+  spec.burst_period = 5;
   spec.faults = 123;
   spec.injections = 45;
   spec.seed = 999;
@@ -218,6 +221,12 @@ TEST(Protocol, SpecDecodeIsStrict) {
   EXPECT_FALSE(decode_spec("kind=cnn\nnet=alexnet\n", &error).has_value());
   EXPECT_FALSE(decode_spec("kind=rtl\naccel=warp9\n", &error).has_value());
   EXPECT_FALSE(decode_spec("kind=marsupial\n", &error).has_value());
+  // Unknown fault-model token rejected for every kind.
+  EXPECT_FALSE(decode_spec("kind=rtl\nfault_model=gamma\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("fault model"), std::string::npos);
+  EXPECT_FALSE(decode_spec("kind=sw\nfault_model=stuckX\n", &error)
+                   .has_value());
 }
 
 TEST(Protocol, ProgressRoundTrips) {
@@ -399,6 +408,28 @@ TEST(Serve, ServedResultIsByteIdenticalToOffline) {
   const auto outcome = submit_campaign(cfg.socket_path, spec);
   ASSERT_TRUE(outcome.ok) << outcome.error;
   EXPECT_EQ(outcome.result, offline);  // THE determinism contract
+  server.shutdown(/*drain=*/true);
+}
+
+TEST(Serve, ServedStuckAtCampaignMatchesOffline) {
+  // The determinism contract holds along the fault-model axis too: a
+  // stuck-at-1 campaign served over the socket must be byte-identical to
+  // the offline run, and its serialized result carries the model token.
+  auto spec = small_rtl_spec();
+  spec.fault_model = "stuck1";
+  spec.accel = "checkpoint";  // permanent faults never early-exit anyway
+  const std::string offline = run_spec_offline(spec);
+  ASSERT_FALSE(offline.empty());
+  ASSERT_NE(offline.find("fault_model=stuck1"), std::string::npos);
+
+  ServerConfig cfg;
+  cfg.socket_path = "serve_stuck.sock";
+  cfg.workers = 1;
+  Server server(cfg);
+  server.start();
+  const auto outcome = submit_campaign(cfg.socket_path, spec);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result, offline);
   server.shutdown(/*drain=*/true);
 }
 

@@ -215,6 +215,91 @@ TEST(InjectHook, WarpModelStopsAtOtherWarp) {
   EXPECT_EQ(std::bit_cast<float>(u), 1.0f);
 }
 
+TEST(InjectHook, StickyModelRefiresOnSamePcOnly) {
+  // A stuck-at flip-flop keeps corrupting the same static instruction:
+  // every later retirement of the hit pc fires again — any thread, any
+  // warp, including loop re-executions — while other pcs stay clean.
+  InjectHook h(FaultModel::StickyRelativeError, 0, 1, nullptr, true);
+  isa::Instr f{.op = isa::Opcode::FADD};
+  emu::RetireInfo first;
+  first.instr = &f;
+  first.pc = 7;
+  first.thread = emu::ThreadId{0, 0, 0, 0};
+  std::uint32_t v = std::bit_cast<std::uint32_t>(2.0f);
+  h.on_retire(first, v);
+  EXPECT_TRUE(h.fired());
+  EXPECT_NE(std::bit_cast<float>(v), 2.0f);
+
+  // Same pc, a different warp: still corrupted.
+  emu::RetireInfo other_warp = first;
+  other_warp.thread = emu::ThreadId{0, 1, 0, 32};
+  std::uint32_t w = std::bit_cast<std::uint32_t>(2.0f);
+  h.on_retire(other_warp, w);
+  EXPECT_NE(std::bit_cast<float>(w), 2.0f);
+
+  // A different pc: untouched, and it does NOT disarm the fault.
+  isa::Instr g{.op = isa::Opcode::IADD};
+  emu::RetireInfo elsewhere;
+  elsewhere.instr = &g;
+  elsewhere.pc = 8;
+  elsewhere.thread = emu::ThreadId{0, 0, 0, 0};
+  std::uint32_t u = 5;
+  h.on_retire(elsewhere, u);
+  EXPECT_EQ(u, 5u);
+
+  // Loop re-execution of the hit pc: corrupted again (unlike the warp
+  // model, which has transient semantics).
+  emu::RetireInfo again = first;
+  std::uint32_t v2 = std::bit_cast<std::uint32_t>(2.0f);
+  h.on_retire(again, v2);
+  EXPECT_NE(std::bit_cast<float>(v2), 2.0f);
+  EXPECT_EQ(h.corrupted_threads(), 3u);
+}
+
+TEST(InjectHook, StickyModelHitCapBoundsCorruption) {
+  InjectHook h(FaultModel::StickyRelativeError, 0, 4, nullptr, true);
+  isa::Instr f{.op = isa::Opcode::FMUL};
+  emu::RetireInfo info;
+  info.instr = &f;
+  info.pc = 3;
+  info.thread = emu::ThreadId{0, 0, 0, 0};
+  for (unsigned i = 0; i < InjectHook::kStickyMaxHits + 50; ++i) {
+    std::uint32_t v = std::bit_cast<std::uint32_t>(1.0f);
+    h.on_retire(info, v);
+  }
+  EXPECT_EQ(h.corrupted_threads(), InjectHook::kStickyMaxHits);
+}
+
+TEST(Campaign, StickyModelIsDeterministicAcrossJobs) {
+  auto h = apps::make_mxm(16);
+  Config cfg;
+  cfg.model = FaultModel::StickyRelativeError;
+  cfg.n_injections = 60;
+  cfg.seed = 31;
+  cfg.jobs = 1;
+  const auto a = run_sw_campaign(h.app, cfg);
+  cfg.jobs = 4;
+  const auto b = run_sw_campaign(h.app, cfg);
+  EXPECT_EQ(a.masked, b.masked);
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.due, b.due);
+}
+
+TEST(Campaign, StickyModelPvfAtLeastSingleShot) {
+  // Re-corrupting every re-execution of the hit pc can only widen the
+  // blast radius relative to a one-shot relative error on the same sites.
+  auto h = apps::make_mxm(16);
+  Config single;
+  single.model = FaultModel::RelativeError;
+  single.n_injections = 80;
+  single.seed = 33;
+  const auto rs = run_sw_campaign(h.app, single);
+  Config sticky = single;
+  sticky.model = FaultModel::StickyRelativeError;
+  const auto rt = run_sw_campaign(h.app, sticky);
+  EXPECT_GE(rt.pvf() + 0.05, rs.pvf());
+}
+
 TEST(Campaign, WarpModelPvfAtLeastSingleThread) {
   auto h = apps::make_mxm(16);
   swfi::Config single;

@@ -185,6 +185,76 @@ TEST(Database, LoadRejectsGarbage) {
   EXPECT_THROW(Database::load(ss), std::runtime_error);
 }
 
+TEST(Database, LoadRejectsWrongSchemaVersionWithSchemaMismatch) {
+  // A well-formed header with a stale version must raise the dedicated
+  // SchemaMismatch (the CLI maps it to exit code 2), not a generic error.
+  std::stringstream ss("gpufi-syndrome-db 1\n0\n");
+  try {
+    Database::load(ss);
+    FAIL() << "expected SchemaMismatch";
+  } catch (const SchemaMismatch& e) {
+    EXPECT_EQ(e.found(), 1);
+    EXPECT_NE(std::string(e.what()).find("schema version 1"),
+              std::string::npos);
+  }
+}
+
+TEST(Database, SavedHeaderCarriesTheSchemaVersion) {
+  Database db;
+  std::stringstream ss;
+  db.save(ss);
+  std::string magic;
+  int version = 0;
+  ss >> magic >> version;
+  EXPECT_EQ(magic, "gpufi-syndrome-db");
+  EXPECT_EQ(version, Database::kSchemaVersion);
+}
+
+TEST(Database, KeysSeparateFaultModelsAndRoundTrip) {
+  // The same (module, op, range) under two fault models must stay two
+  // distinct syndrome classes, across save/load.
+  Database db;
+  const auto w =
+      rtlfi::make_microbenchmark(Opcode::FADD, InputRange::Medium, 1);
+  rtlfi::CampaignConfig cfg;
+  cfg.module = Module::Fp32Fu;
+  cfg.n_faults = 400;
+  cfg.seed = 4;
+  db.add_campaign(Key{Module::Fp32Fu, Opcode::FADD, InputRange::Medium},
+                  rtlfi::run_campaign(w, cfg));
+  cfg.fault_model = rtl::FaultModel::StuckAt1;
+  db.add_campaign(Key{Module::Fp32Fu, Opcode::FADD, InputRange::Medium,
+                      rtl::FaultModel::StuckAt1},
+                  rtlfi::run_campaign(w, cfg));
+  db.finalize();
+  ASSERT_EQ(db.keys().size(), 2u);
+
+  std::stringstream ss;
+  db.save(ss);
+  Database loaded = Database::load(ss);
+  const Key transient{Module::Fp32Fu, Opcode::FADD, InputRange::Medium};
+  const Key stuck{Module::Fp32Fu, Opcode::FADD, InputRange::Medium,
+                  rtl::FaultModel::StuckAt1};
+  ASSERT_NE(loaded.find(transient), nullptr);
+  ASSERT_NE(loaded.find(stuck), nullptr);
+  EXPECT_EQ(loaded.find(transient)->count(), db.find(transient)->count());
+  EXPECT_EQ(loaded.find(stuck)->count(), db.find(stuck)->count());
+}
+
+TEST(Database, SamplingFallsBackToTransientForUncharacterizedModels) {
+  Database db = tiny_db();  // transient-only characterization
+  Rng rng(9);
+  // The stuck-at-1 class was never built: sampling must fall back to the
+  // transient pool rather than return nothing.
+  const auto s = db.sample_relative_error(Opcode::FADD, InputRange::Medium,
+                                          rng, rtl::FaultModel::StuckAt1);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_GT(*s, 0.0);
+  // An opcode with no characterization at all still yields nullopt.
+  EXPECT_FALSE(db.sample_relative_error(Opcode::IMUL, InputRange::Medium,
+                                        rng, rtl::FaultModel::StuckAt1));
+}
+
 TEST(Database, TmxmStatsSeparateSites) {
   Database db = tiny_db();
   EXPECT_GT(db.tmxm(Module::Scheduler).total(), 0u);
