@@ -12,9 +12,11 @@
 #include "emu/device.hpp"
 #include "fparith/fp32.hpp"
 #include "fparith/sfu.hpp"
+#include "obs/metrics.hpp"
 #include "rtlfi/campaign.hpp"
 #include "rtlfi/microbench.hpp"
 #include "rtl/sm.hpp"
+#include "swfi/swfi.hpp"
 
 using namespace gpufi;
 
@@ -270,6 +272,98 @@ void report_fault_model_throughput() {
   }
 }
 
+/// Observability overhead check (the <=2% acceptance bar of the obs
+/// subsystem): the same RTL campaign with metrics runtime-disabled versus
+/// fully enabled, min-of-3 wall times per mode so scheduler noise does not
+/// masquerade as instrumentation cost. Appended to `BENCH_rtl.json`.
+void report_obs_overhead() {
+  const auto w = rtlfi::make_microbenchmark(isa::Opcode::FFMA,
+                                            rtlfi::InputRange::Medium, 1);
+  rtlfi::CampaignConfig cfg;
+  cfg.module = rtl::Module::Fp32Fu;
+  cfg.n_faults = 300;
+  cfg.seed = 7;
+  cfg.jobs = 1;
+  cfg.acceleration = rtlfi::Acceleration::CheckpointEarlyExit;
+  const auto best_of = [&](bool obs_on) {
+    obs::set_enabled(obs_on);
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r = rtlfi::run_campaign(w, cfg);
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      benchmark::DoNotOptimize(r.masked);
+      if (rep == 0 || s < best) best = s;
+    }
+    return best;
+  };
+  const double off = best_of(false);
+  const double on = best_of(true);
+  obs::set_enabled(true);
+  const double overhead_pct = off > 0 ? 100.0 * (on - off) / off : 0.0;
+  char json[512];
+  std::snprintf(
+      json, sizeof json,
+      "{\"bench\":\"obs_overhead\",\"faults\":%zu,\"jobs\":1,\"reps\":3,"
+      "\"seconds_obs_off\":%.4f,\"seconds_obs_on\":%.4f,"
+      "\"overhead_pct\":%.2f,\"within_2pct\":%s}",
+      cfg.n_faults, off, on, overhead_pct,
+      overhead_pct <= 2.0 ? "true" : "false");
+  std::printf("%s\n", json);
+  if (std::FILE* f = std::fopen("BENCH_rtl.json", "a")) {
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
+}
+
+/// Software-campaign throughput baseline, written to `BENCH_sw.json`: the
+/// second level of the two-level framework gets its own trend line, with the
+/// obs overhead measured on the same campaign alongside.
+void report_sw_throughput() {
+  auto h = apps::make_mxm(24);
+  swfi::Config cfg;
+  cfg.model = swfi::FaultModel::SingleBitFlip;
+  cfg.n_injections = 80;
+  cfg.seed = 7;
+  cfg.jobs = 1;
+  const auto timed = [&](bool obs_on) {
+    obs::set_enabled(obs_on);
+    double best = 0.0;
+    std::size_t injections = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r = swfi::run_sw_campaign(h.app, cfg);
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      injections = r.sdc + r.masked + r.due;
+      if (rep == 0 || s < best) best = s;
+    }
+    return std::pair{best, injections};
+  };
+  const auto [off, n_off] = timed(false);
+  const auto [on, n_on] = timed(true);
+  obs::set_enabled(true);
+  const double rate = on > 0 ? static_cast<double>(n_on) / on : 0.0;
+  const double overhead_pct = off > 0 ? 100.0 * (on - off) / off : 0.0;
+  char json[512];
+  std::snprintf(
+      json, sizeof json,
+      "{\"bench\":\"sw_campaign_injections\",\"app\":\"mxm\","
+      "\"model\":\"bitflip\",\"injections\":%zu,\"jobs\":1,\"reps\":3,"
+      "\"inj_per_sec\":%.1f,\"obs_overhead_pct\":%.2f,"
+      "\"deterministic\":%s}",
+      cfg.n_injections, rate, overhead_pct,
+      n_off == n_on ? "true" : "false");
+  std::printf("%s\n", json);
+  if (std::FILE* f = std::fopen("BENCH_sw.json", "w")) {
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -280,5 +374,7 @@ int main(int argc, char** argv) {
   report_campaign_scaling();
   report_rtl_acceleration();
   report_fault_model_throughput();
+  report_obs_overhead();
+  report_sw_throughput();
   return 0;
 }

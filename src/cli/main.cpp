@@ -9,10 +9,12 @@
 //   gpufi serve [options]                 campaign daemon on a Unix socket
 //   gpufi submit <rtl|tmxm|sw|cnn> ...    run a campaign through the daemon
 //   gpufi status [--socket PATH]          daemon queue/cache counters
+//   gpufi stats --metrics                 daemon Prometheus metrics scrape
 //
 // Common options: --faults N / --injections N, --seed S, --db PATH,
 // --jobs N (0 = GPUFI_JOBS env or all hardware threads; results are
-// byte-identical whatever the value).
+// byte-identical whatever the value), --progress-interval N (progress
+// callback every N trials), --trace-out FILE (JSONL span/event trace).
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
 #include <chrono>
@@ -27,6 +29,8 @@
 
 #include "core/gpufi.hpp"
 #include "nn/gpu_infer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rtlfi/campaign.hpp"
 #include "rtlfi/microbench.hpp"
 #include "serve/client.hpp"
@@ -58,7 +62,8 @@ int usage() {
       "[--deadline MS]\n"
       "  gpufi submit <rtl|tmxm|sw|cnn> <args as above> [--socket PATH] "
       "[--priority P] [--deadline MS]\n"
-      "  gpufi status [--socket PATH]\n"
+      "  gpufi status [--socket PATH] [--metrics]\n"
+      "  gpufi stats --metrics [--socket PATH]   (alias of status)\n"
       "\n"
       "every campaign accepts --jobs N: worker threads for the trial loop\n"
       "(default: GPUFI_JOBS env, else all hardware threads; submit defaults\n"
@@ -73,6 +78,11 @@ int usage() {
       "(build-db takes a comma list), --fault-duration N (fault window in\n"
       "cycles; 0 = permanent for non-transient models) and --burst-period N\n"
       "(re-flip period of the burst model).\n"
+      "\n"
+      "observability: --progress-interval N fires the progress callback\n"
+      "every N trials (N >= 1; deterministic whatever --jobs), --trace-out\n"
+      "FILE writes a JSONL span/event trace, `gpufi status --metrics`\n"
+      "scrapes the daemon's Prometheus text exposition.\n"
       "\n"
       "exit codes: 0 success, 1 runtime failure, 2 usage error (including\n"
       "a syndrome database with an incompatible schema version).\n");
@@ -130,20 +140,32 @@ struct Options {
   std::size_t queue = 64;
   int priority = 0;
   std::uint64_t deadline_ms = 0;
+  // observability options
+  std::size_t progress_interval = 0;  ///< 0 = adaptive (~2% steps)
+  std::string trace_out;              ///< JSONL span/event sink ("" = off)
+  bool metrics = false;               ///< status: scrape Prometheus text
 
   static std::optional<Options> parse(int argc, char** argv, int first) {
     Options o;
-    for (int i = first; i < argc; i += 2) {
+    int i = first;
+    while (i < argc) {
       const std::string key = argv[i];
       if (key.rfind("--", 0) != 0) {
         usage_error("unexpected argument: " + key);
         return std::nullopt;
+      }
+      // Boolean flags take no value and advance by one.
+      if (key == "--metrics") {
+        o.metrics = true;
+        ++i;
+        continue;
       }
       if (i + 1 >= argc) {
         usage_error("option " + key + " requires a value");
         return std::nullopt;
       }
       const std::string val = argv[i + 1];
+      i += 2;
       std::uint64_t n = 0;
       const auto number = [&]() -> bool {
         if (parse_u64_strict(val, n)) return true;
@@ -226,6 +248,16 @@ struct Options {
       } else if (key == "--burst-period") {
         if (!number()) return std::nullopt;
         o.burst_period = n;
+      } else if (key == "--progress-interval") {
+        const auto iv = vocab::parse_progress_interval(val);
+        if (!iv) {
+          usage_error("option --progress-interval expects a positive trial "
+                      "count, got '" + val + "'");
+          return std::nullopt;
+        }
+        o.progress_interval = *iv;
+      } else if (key == "--trace-out") {
+        o.trace_out = val;
       } else {
         usage_error("unknown option " + key);
         return std::nullopt;
@@ -238,6 +270,13 @@ struct Options {
     return *serve::parse_acceleration(accel);
   }
 };
+
+/// Installs the process-wide JSONL trace sink when --trace-out was given.
+/// TraceSink::open throws on an unwritable path; main() maps that to exit 1.
+void install_trace_sink(const Options& o) {
+  if (!o.trace_out.empty())
+    obs::set_trace_sink(obs::TraceSink::open(o.trace_out));
+}
 
 /// Telemetry printer for long campaigns: carriage-return progress on stderr
 /// so piped stdout stays machine-readable.
@@ -288,6 +327,7 @@ int cmd_rtl(int argc, char** argv) {
   if (!o) return 2;
   if (o->fault_models.size() != 1)
     return usage_error("gpufi rtl expects a single --fault-model");
+  install_trace_sink(*o);
   const auto range = *serve::parse_range(o->range);
   const auto w = rtlfi::make_microbenchmark(*op, range, o->seed);
   rtlfi::CampaignConfig cfg;
@@ -300,6 +340,7 @@ int cmd_rtl(int argc, char** argv) {
   cfg.fault_duration = o->fault_duration;
   cfg.burst_period = o->burst_period;
   cfg.progress = stderr_progress("injections");
+  cfg.progress_interval = o->progress_interval;
   std::printf("== RTL campaign: %s on %s (%s inputs, %s faults), %zu faults\n",
               std::string(isa::mnemonic(*op)).c_str(),
               std::string(rtl::module_name(*module)).c_str(),
@@ -319,6 +360,7 @@ int cmd_tmxm(int argc, char** argv) {
   if (!o) return 2;
   if (o->fault_models.size() != 1)
     return usage_error("gpufi tmxm expects a single --fault-model");
+  install_trace_sink(*o);
   const auto kind = *serve::parse_tile(o->tile);
   rtlfi::CampaignConfig cfg;
   cfg.module = *site;
@@ -330,6 +372,7 @@ int cmd_tmxm(int argc, char** argv) {
   cfg.fault_duration = o->fault_duration;
   cfg.burst_period = o->burst_period;
   cfg.progress = stderr_progress("injections");
+  cfg.progress_interval = o->progress_interval;
   std::printf("== t-MxM campaign: %s site, %s tile, %zu faults\n",
               std::string(rtl::module_name(*site)).c_str(),
               std::string(rtlfi::tile_name(kind)).c_str(), o->faults);
@@ -353,12 +396,14 @@ int cmd_build_db(int argc, char** argv) {
   if (argc < 3) return usage();
   const auto o = Options::parse(argc, argv, 3);
   if (!o) return 2;
+  install_trace_sink(*o);
   core::RtlCharacterizationConfig cfg;
   cfg.faults_per_campaign = o->faults;
   cfg.jobs = o->jobs;
   cfg.acceleration = o->acceleration();
   cfg.fault_models = o->fault_models;
   cfg.progress = stderr_progress("campaigns");
+  cfg.progress_interval = o->progress_interval;
   std::printf("building syndrome database (%zu faults/campaign, models: %s)"
               "...\n",
               cfg.faults_per_campaign, o->fault_model.c_str());
@@ -378,6 +423,7 @@ int cmd_sw(int argc, char** argv) {
     return usage_error("unknown app '" + app_name + "'");
   const auto model = vocab::parse_sw_model(model_name);
   if (!model) return usage_error("unknown fault model '" + model_name + "'");
+  install_trace_sink(*o);
   const auto app = vocab::make_app(app_name);
   swfi::Config cfg;
   cfg.model = *model;
@@ -385,6 +431,7 @@ int cmd_sw(int argc, char** argv) {
   cfg.seed = o->seed;
   cfg.jobs = o->jobs;
   cfg.progress = stderr_progress("injections");
+  cfg.progress_interval = o->progress_interval;
   std::optional<syndrome::Database> db;
   const bool needs_db = cfg.model == swfi::FaultModel::RelativeError ||
                         cfg.model == swfi::FaultModel::WarpRelativeError ||
@@ -423,9 +470,11 @@ int cmd_cnn(int argc, char** argv) {
     return usage_error("unknown network '" + net_name + "'");
   const auto model = serve::parse_cnn_model(model_name);
   if (!model) return usage_error("unknown fault model '" + model_name + "'");
+  install_trace_sink(*o);
   core::RtlCharacterizationConfig dbcfg;
   dbcfg.jobs = o->jobs;
   dbcfg.progress = stderr_progress("campaigns");
+  dbcfg.progress_interval = o->progress_interval;
   const auto db = core::ensure_syndrome_database(o->db_path, dbcfg);
   const auto models = core::ensure_models(o->models_dir);
   const auto r = nn::run_cnn_campaign(
@@ -453,6 +502,7 @@ void on_signal(int) { g_signal = 1; }
 int cmd_serve(int argc, char** argv) {
   const auto o = Options::parse(argc, argv, 2);
   if (!o) return 2;
+  install_trace_sink(*o);
   serve::ServerConfig cfg;
   cfg.socket_path = o->socket;
   cfg.workers = o->workers;
@@ -521,6 +571,7 @@ int cmd_submit(int argc, char** argv) {
   spec.models_dir = o->models_dir;
   spec.priority = o->priority;
   spec.deadline_ms = o->deadline_ms;
+  spec.progress_interval = o->progress_interval;
   if (const auto err = serve::validate_spec(spec)) return usage_error(*err);
 
   const auto outcome = serve::submit_campaign(
@@ -542,6 +593,16 @@ int cmd_status(int argc, char** argv) {
   const auto o = Options::parse(argc, argv, 2);
   if (!o) return 2;
   std::string error;
+  if (o->metrics) {
+    const auto text = serve::query_metrics(o->socket, &error);
+    if (!text) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    // Raw Prometheus text exposition — scrapers consume it verbatim.
+    std::fwrite(text->data(), 1, text->size(), stdout);
+    return 0;
+  }
   const auto s = serve::query_stats(o->socket, &error);
   if (!s) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
@@ -574,7 +635,7 @@ int main(int argc, char** argv) {
     if (cmd == "cnn") return cmd_cnn(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "submit") return cmd_submit(argc, argv);
-    if (cmd == "status") return cmd_status(argc, argv);
+    if (cmd == "status" || cmd == "stats") return cmd_status(argc, argv);
   } catch (const syndrome::SchemaMismatch& e) {
     // A stale database file is a configuration error, not a runtime crash:
     // the fix is user action (regenerate), so it exits like a usage error.

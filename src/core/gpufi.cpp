@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rtlfi/campaign.hpp"
 #include "rtlfi/microbench.hpp"
 
@@ -98,6 +100,9 @@ syndrome::Database build_syndrome_database(
     const RtlCharacterizationConfig& cfg) {
   const std::vector<CampaignDesc> grid =
       characterization_grid(cfg.fault_models);
+  obs::Span span("core.build_syndrome_database");
+  span.set("campaigns", static_cast<std::uint64_t>(grid.size()));
+  obs::count("gpufi_core_db_builds_total");
 
   // Characterize in parallel across the grid (the inner trial loops run
   // serial: one campaign is small, the grid is the wide axis). Each
@@ -133,7 +138,7 @@ syndrome::Database build_syndrome_database(
       merged.merge(rtlfi::run_campaign(w, cc));
     }
     results[i] = std::move(merged);
-  }, cfg.cancel);
+  }, cfg.cancel, cfg.progress_interval);
   if (cfg.cancel && cfg.cancel->stopped())
     throw std::runtime_error("syndrome database build cancelled");
 
@@ -154,7 +159,10 @@ syndrome::Database build_syndrome_database(
 
 syndrome::Database ensure_syndrome_database(
     const std::string& path, const RtlCharacterizationConfig& cfg) {
-  if (std::filesystem::exists(path)) return syndrome::Database::load_file(path);
+  if (std::filesystem::exists(path)) {
+    obs::count("gpufi_core_db_loads_total");
+    return syndrome::Database::load_file(path);
+  }
   syndrome::Database db = build_syndrome_database(cfg);
   const auto dir = std::filesystem::path(path).parent_path();
   if (!dir.empty()) std::filesystem::create_directories(dir);

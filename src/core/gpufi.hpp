@@ -34,6 +34,8 @@ struct RtlCharacterizationConfig {
   std::vector<rtl::FaultModel> fault_models = {rtl::FaultModel::Transient};
   /// Optional telemetry (campaigns finished, campaigns/sec, ETA).
   exec::ProgressFn progress;
+  /// Fire `progress` every this many finished campaigns; 0 = automatic.
+  std::size_t progress_interval = 0;
   /// Optional cooperative stop flag. A cancelled build throws (a partial
   /// characterization must never be mistaken for — or saved as — the real
   /// database).

@@ -60,13 +60,16 @@ struct ProgressMeter::State {
   ProgressFn fn;
 };
 
-ProgressMeter::ProgressMeter(std::size_t total, const ProgressFn& fn)
+ProgressMeter::ProgressMeter(std::size_t total, const ProgressFn& fn,
+                             std::size_t step_override)
     : state_(nullptr) {
   if (!fn || total == 0) return;
   state_ = new State;
   state_->total = total;
-  // ~50 reports per batch keeps terminal progress readable at any scale.
-  state_->step = std::max<std::size_t>(1, total / 50);
+  // ~50 reports per batch keeps terminal progress readable at any scale;
+  // --progress-interval pins the step instead.
+  state_->step = step_override ? step_override
+                               : std::max<std::size_t>(1, total / 50);
   state_->next_report = state_->step;
   state_->start = std::chrono::steady_clock::now();
   state_->fn = fn;
@@ -97,19 +100,33 @@ void ProgressMeter::add(std::size_t n) {
   state_->fn(p);
 }
 
+void note_stop(const CancelToken* cancel) {
+  if (!cancel || !cancel->stopped() || !obs::enabled()) return;
+  // An explicit cancel wins the tie-break: it is the caller's intent even
+  // when the deadline has also passed by the time we look.
+  if (cancel->cancelled()) {
+    obs::count("gpufi_exec_cancelled_total");
+    obs::event("exec.cancelled");
+  } else {
+    obs::count("gpufi_exec_deadline_expired_total");
+    obs::event("exec.deadline_expired");
+  }
+}
+
 }  // namespace detail
 
 void run_indexed(std::size_t n, unsigned jobs, const ProgressFn& progress,
                  const std::function<void(std::size_t)>& task,
-                 const CancelToken* cancel) {
+                 const CancelToken* cancel, std::size_t progress_interval) {
   if (n == 0) return;
-  detail::ProgressMeter meter(n, progress);
+  detail::ProgressMeter meter(n, progress, progress_interval);
   ThreadPool pool(resolve_jobs(jobs, n));
   pool.run(n, [&](std::size_t i) {
     if (cancel && cancel->stopped()) return;
     task(i);
     meter.add(1);
   });
+  detail::note_stop(cancel);
 }
 
 }  // namespace gpufi::exec

@@ -10,6 +10,8 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpufi::exec {
 
@@ -63,6 +65,9 @@ struct EngineConfig {
   /// environment variable, else the hardware concurrency).
   unsigned jobs = 0;
   ProgressFn progress;  ///< optional
+  /// Fire `progress` every this many finished trials; 0 = automatic
+  /// (~50 reports per batch). The final done == total call always fires.
+  std::size_t progress_interval = 0;
   /// Optional cooperative stop flag: once `stopped()`, no further trial
   /// starts and run_trials returns the merge of the trials already done.
   const CancelToken* cancel = nullptr;
@@ -83,9 +88,12 @@ std::size_t chunk_size(std::size_t n_trials);
 namespace detail {
 
 /// Thread-safe throttled progress reporting (count- and rate-based).
+/// `step_override` fixes the report interval in trials; 0 keeps the
+/// automatic ~50-reports-per-batch throttle.
 class ProgressMeter {
  public:
-  ProgressMeter(std::size_t total, const ProgressFn& fn);
+  ProgressMeter(std::size_t total, const ProgressFn& fn,
+                std::size_t step_override = 0);
   ~ProgressMeter();
   /// Records `n` finished trials, possibly firing the callback.
   void add(std::size_t n);
@@ -94,6 +102,10 @@ class ProgressMeter {
   struct State;
   State* state_;
 };
+
+/// Records why a batch stopped early (cancel vs deadline) as a counter and
+/// trace event. No-op when the token is null or not stopped.
+void note_stop(const CancelToken* cancel);
 
 }  // namespace detail
 
@@ -125,14 +137,23 @@ Result run_trials(const EngineConfig& cfg, MakeContext&& make_context,
   Result merged{};
   const std::size_t n = cfg.n_trials;
   if (n == 0) return merged;
+  obs::Span span("exec.run_trials");
+  span.set("trials", static_cast<std::uint64_t>(n));
+  const bool obs_on = obs::enabled();
   const std::size_t chunk = chunk_size(n);
   const std::size_t n_chunks = (n + chunk - 1) / chunk;
   std::vector<Result> shards(n_chunks);
-  detail::ProgressMeter meter(n, cfg.progress);
+  // One metrics shard per chunk, absorbed in chunk-index order below —
+  // the same shape (and the same determinism argument) as the Result
+  // shards. Observability reads trial timings but never writes anything a
+  // trial can see, so Results are identical with obs on/off/compiled-out.
+  std::vector<obs::Shard> obs_shards(obs_on ? n_chunks : 0);
+  detail::ProgressMeter meter(n, cfg.progress, cfg.progress_interval);
   const CancelToken* cancel = cfg.cancel;
   ThreadPool pool(resolve_jobs(cfg.jobs, n_chunks));
   pool.run(n_chunks, [&](std::size_t c) {
     if (cancel && cancel->stopped()) return;
+    obs::ScopedShard scoped(obs_on ? &obs_shards[c] : nullptr);
     auto context = make_context();
     Result& shard = shards[c];
     const std::size_t lo = c * chunk;
@@ -141,12 +162,27 @@ Result run_trials(const EngineConfig& cfg, MakeContext&& make_context,
     for (std::size_t i = lo; i < hi; ++i) {
       if (cancel && cancel->stopped()) break;
       Rng rng(rng_derive(cfg.seed, i));
-      trial(context, i, rng, shard);
+      if (obs_on) {
+        const auto t0 = std::chrono::steady_clock::now();
+        trial(context, i, rng, shard);
+        obs::observe("gpufi_exec_trial_seconds",
+                     std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+      } else {
+        trial(context, i, rng, shard);
+      }
       ++done;
+      meter.add(1);
     }
-    meter.add(done);
+    if (obs_on) {
+      obs::count("gpufi_exec_trials_total", done);
+      obs::count("gpufi_exec_chunks_total");
+    }
   });
   for (auto& shard : shards) merged.merge(shard);
+  for (const auto& s : obs_shards) obs::Registry::global().absorb(s);
+  detail::note_stop(cancel);
   return merged;
 }
 
@@ -157,6 +193,7 @@ Result run_trials(const EngineConfig& cfg, MakeContext&& make_context,
 /// stopped `cancel` token skips every task not yet started.
 void run_indexed(std::size_t n, unsigned jobs, const ProgressFn& progress,
                  const std::function<void(std::size_t)>& task,
-                 const CancelToken* cancel = nullptr);
+                 const CancelToken* cancel = nullptr,
+                 std::size_t progress_interval = 0);
 
 }  // namespace gpufi::exec

@@ -1,0 +1,322 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gpufi::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{true};
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+const std::vector<double>& default_latency_buckets() {
+  // 1-2-5 ladder: microseconds through 10 s. Trials span six orders of
+  // magnitude (sw injections ~ms, watchdog-bound RTL stuck-at trials ~s).
+  static const std::vector<double> kBuckets = {
+      1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3,
+      5e-3, 1e-2, 2e-2, 5e-2, 0.1,  0.2,  0.5,  1.0,  2.0,  5.0,  10.0};
+  return kBuckets;
+}
+
+namespace {
+
+/// Index of the bucket (last = +Inf overflow) for an observed value — the
+/// one bucket-assignment function shared by Histogram and HistogramData so
+/// the atomic and sharded paths can never disagree.
+std::size_t bucket_index(const std::vector<double>& bounds, double v) {
+  return static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
+
+void Histogram::observe(double v) noexcept {
+  counts_[bucket_index(bounds_, v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS loop: std::atomic<double>::fetch_add is C++20 but not universally
+  // lowered; compare_exchange is portable and the histogram sum is not a
+  // contended hot path (the trial loop goes through shards).
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::merge_data(const HistogramData& data) noexcept {
+  const std::size_t n = std::min(counts_.size(), data.counts.size());
+  for (std::size_t i = 0; i < n; ++i)
+    counts_[i].fetch_add(data.counts[i], std::memory_order_relaxed);
+  count_.fetch_add(data.count, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + data.sum,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shards.
+// ---------------------------------------------------------------------------
+
+void HistogramData::observe(double v) {
+  if (counts.empty()) counts.resize(default_latency_buckets().size() + 1);
+  ++counts[bucket_index(default_latency_buckets(), v)];
+  sum += v;
+  ++count;
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  if (counts.empty()) counts.resize(default_latency_buckets().size() + 1);
+  for (std::size_t i = 0; i < other.counts.size(); ++i)
+    counts[i] += other.counts[i];
+  sum += other.sum;
+  count += other.count;
+}
+
+void Shard::add(std::string_view counter, std::uint64_t n) {
+  auto it = counters_.find(counter);
+  if (it == counters_.end())
+    counters_.emplace(std::string(counter), n);
+  else
+    it->second += n;
+}
+
+void Shard::observe(std::string_view histogram, double v) {
+  auto it = histograms_.find(histogram);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(histogram), HistogramData{}).first;
+  it->second.observe(v);
+}
+
+void Shard::merge(const Shard& other) {
+  for (const auto& [name, n] : other.counters_) add(name, n);
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+      it = histograms_.emplace(name, HistogramData{}).first;
+    it->second.merge(h);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return histogram(name, default_latency_buckets());
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  return *it->second;
+}
+
+void Registry::absorb(const Shard& shard) {
+  for (const auto& [name, n] : shard.counters()) counter(name).add(n);
+  for (const auto& [name, h] : shard.histograms())
+    histogram(name).merge_data(h);
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::int64_t Registry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry;  // never destroyed: metrics may
+                                             // be touched during exit paths
+  return *instance;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Family name = metric name up to the label block.
+std::string_view family_of(std::string_view name) {
+  const auto brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+std::string fmt_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  std::string_view last_family;
+  const auto type_header = [&](std::string_view name, const char* type) {
+    const std::string_view family = family_of(name);
+    if (family == last_family) return;
+    last_family = family;
+    out += "# TYPE ";
+    out += family;
+    out += ' ';
+    out += type;
+    out += '\n';
+  };
+  for (const auto& [name, c] : counters_) {
+    type_header(name, "counter");
+    out += name;
+    out += ' ';
+    out += std::to_string(c->value());
+    out += '\n';
+  }
+  last_family = {};
+  for (const auto& [name, g] : gauges_) {
+    type_header(name, "gauge");
+    out += name;
+    out += ' ';
+    out += std::to_string(g->value());
+    out += '\n';
+  }
+  last_family = {};
+  for (const auto& [name, h] : histograms_) {
+    type_header(name, "histogram");
+    const auto counts = h->bucket_counts();
+    const auto& bounds = h->bounds();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      out += name;
+      out += "_bucket{le=\"";
+      out += i < bounds.size() ? fmt_num(bounds[i]) : "+Inf";
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += name;
+    out += "_sum ";
+    out += fmt_num(h->sum());
+    out += '\n';
+    out += name;
+    out += "_count ";
+    out += std::to_string(h->count());
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path helpers.
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local Shard* t_shard = nullptr;
+}  // namespace
+
+ScopedShard::ScopedShard(Shard* shard) noexcept : prev_(t_shard) {
+  if (shard) t_shard = shard;
+}
+
+ScopedShard::~ScopedShard() { t_shard = prev_; }
+
+Shard* ScopedShard::current() noexcept { return t_shard; }
+
+void count(std::string_view name, std::uint64_t n) {
+  if (!enabled()) return;
+  if (Shard* shard = t_shard)
+    shard->add(name, n);
+  else
+    Registry::global().counter(name).add(n);
+}
+
+void observe(std::string_view name, double v) {
+  if (!enabled()) return;
+  if (Shard* shard = t_shard)
+    shard->observe(name, v);
+  else
+    Registry::global().histogram(name).observe(v);
+}
+
+void set_gauge(std::string_view name, std::int64_t v) {
+  if (!enabled()) return;
+  Registry::global().gauge(name).set(v);
+}
+
+void add_gauge(std::string_view name, std::int64_t d) {
+  if (!enabled()) return;
+  Registry::global().gauge(name).add(d);
+}
+
+std::string label(std::string_view name, std::string_view key,
+                  std::string_view value) {
+  std::string out;
+  out.reserve(name.size() + key.size() + value.size() + 5);
+  if (!name.empty() && name.back() == '}') {
+    out.append(name.substr(0, name.size() - 1));
+    out += ',';
+  } else {
+    out.append(name);
+    out += '{';
+  }
+  out += key;
+  out += "=\"";
+  out += value;
+  out += "\"}";
+  return out;
+}
+
+}  // namespace gpufi::obs

@@ -1,0 +1,193 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace gpufi::obs {
+
+namespace {
+
+std::mutex g_sink_mutex;
+std::shared_ptr<TraceSink> g_sink;
+std::atomic<bool> g_sink_installed{false};
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+thread_local std::vector<std::uint64_t> t_span_stack;
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+// Touch the epoch at static-init time so now_us() is monotone from early in
+// the process, not from the first span.
+const auto g_epoch_init = process_start();
+
+}  // namespace
+
+std::uint64_t now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - process_start())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// TraceSink.
+// ---------------------------------------------------------------------------
+
+TraceSink::~TraceSink() = default;
+
+std::shared_ptr<TraceSink> TraceSink::open(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!*file)
+    throw std::runtime_error("cannot open trace file: " + path);
+  auto sink = std::shared_ptr<TraceSink>(new TraceSink);
+  sink->out_ = file.get();
+  sink->owned_ = std::move(file);
+  return sink;
+}
+
+std::shared_ptr<TraceSink> TraceSink::to_stream(std::ostream& out) {
+  auto sink = std::shared_ptr<TraceSink>(new TraceSink);
+  sink->out_ = &out;
+  return sink;
+}
+
+void TraceSink::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << line << '\n';
+  out_->flush();
+  ++lines_;
+}
+
+std::uint64_t TraceSink::lines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+void set_trace_sink(std::shared_ptr<TraceSink> sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+  g_sink_installed.store(g_sink != nullptr, std::memory_order_release);
+}
+
+std::shared_ptr<TraceSink> trace_sink() {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  return g_sink;
+}
+
+bool tracing() noexcept {
+  return enabled() && g_sink_installed.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers.
+// ---------------------------------------------------------------------------
+
+std::string json_escape(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Span.
+// ---------------------------------------------------------------------------
+
+Span::Span(std::string_view name) {
+  if (!tracing()) return;
+  active_ = true;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_span_stack.empty() ? 0 : t_span_stack.back();
+  start_us_ = now_us();
+  name_ = name;
+  t_span_stack.push_back(id_);
+}
+
+Span::~Span() {
+  if (!active_) return;
+  if (!t_span_stack.empty() && t_span_stack.back() == id_)
+    t_span_stack.pop_back();
+  const std::uint64_t end = now_us();
+  const auto sink = trace_sink();
+  if (!sink) return;  // sink removed while the span was open
+  std::string line = "{\"type\":\"span\",\"name\":\"";
+  line += json_escape(name_);
+  line += "\",\"span\":";
+  line += std::to_string(id_);
+  line += ",\"parent\":";
+  line += std::to_string(parent_);
+  line += ",\"t_us\":";
+  line += std::to_string(start_us_);
+  line += ",\"dur_us\":";
+  line += std::to_string(end - start_us_);
+  for (const auto& [key, value] : fields_) {
+    line += ",\"";
+    line += json_escape(key);
+    line += "\":\"";
+    line += json_escape(value);
+    line += '"';
+  }
+  line += '}';
+  sink->write_line(line);
+}
+
+void Span::set(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  fields_.emplace_back(std::string(key), std::string(value));
+}
+
+void Span::set(std::string_view key, std::uint64_t value) {
+  if (!active_) return;
+  fields_.emplace_back(std::string(key), std::to_string(value));
+}
+
+// ---------------------------------------------------------------------------
+// Events.
+// ---------------------------------------------------------------------------
+
+void event(std::string_view name,
+           std::initializer_list<std::pair<std::string_view, std::string_view>>
+               fields) {
+  if (!tracing()) return;
+  const auto sink = trace_sink();
+  if (!sink) return;
+  std::string line = "{\"type\":\"event\",\"name\":\"";
+  line += json_escape(name);
+  line += "\",\"t_us\":";
+  line += std::to_string(now_us());
+  line += ",\"span\":";
+  line += std::to_string(t_span_stack.empty() ? 0 : t_span_stack.back());
+  for (const auto& [key, value] : fields) {
+    line += ",\"";
+    line += json_escape(key);
+    line += "\":\"";
+    line += json_escape(value);
+    line += '"';
+  }
+  line += '}';
+  sink->write_line(line);
+}
+
+}  // namespace gpufi::obs

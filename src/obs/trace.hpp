@@ -1,0 +1,110 @@
+#pragma once
+
+// gpufi-obs tracing: phase-scoped spans and instantaneous events written as
+// one JSON object per line (JSONL) to a process-wide sink.
+//
+// A Span is an RAII scope: it records its start on construction and emits a
+// single line on destruction carrying name, span id, parent id (from a
+// thread-local span stack), start offset, duration and any set() fields.
+// With no sink installed (the default) spans are inert — a couple of branch
+// checks, no allocation — so campaign code can create them unconditionally.
+//
+// Like metrics, tracing is a pure observer: no span or event value ever
+// feeds back into trial computation, so enabling --trace-out cannot change
+// campaign results (pinned by the rtlfi equivalence suite).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace gpufi::obs {
+
+/// Thread-safe JSONL line writer. Owns a file (open()) or borrows a stream
+/// (to_stream(), tests); every emitted line is written and flushed under one
+/// mutex so concurrent spans never interleave bytes.
+class TraceSink {
+ public:
+  ~TraceSink();
+
+  /// Opens `path` for writing (truncates). Throws std::runtime_error when
+  /// the file cannot be opened.
+  static std::shared_ptr<TraceSink> open(const std::string& path);
+
+  /// Wraps a caller-owned stream (not closed on destruction) — test helper.
+  static std::shared_ptr<TraceSink> to_stream(std::ostream& out);
+
+  /// Writes one complete JSONL line (no trailing newline expected).
+  void write_line(const std::string& line);
+
+  /// Number of lines written so far.
+  std::uint64_t lines() const;
+
+ private:
+  TraceSink() = default;
+
+  mutable std::mutex mutex_;
+  std::ostream* out_ = nullptr;      ///< borrowed (to_stream)
+  std::unique_ptr<std::ostream> owned_;  ///< owned (open)
+  std::uint64_t lines_ = 0;
+};
+
+/// Installs / clears the process-wide sink. Passing nullptr disables
+/// tracing; spans created while no sink is installed stay inert even if a
+/// sink appears before they close.
+void set_trace_sink(std::shared_ptr<TraceSink> sink);
+std::shared_ptr<TraceSink> trace_sink();
+
+/// True when tracing is live: obs enabled and a sink installed. One relaxed
+/// atomic load — safe to call per trial.
+bool tracing() noexcept;
+
+/// Escapes `v` for embedding inside a JSON string literal.
+std::string json_escape(std::string_view v);
+
+/// RAII trace span. Usage:
+///   obs::Span span("rtlfi.run_campaign");
+///   span.set("module", module_name);
+///   span.set("faults", n);
+/// Parent linkage comes from a thread-local stack, so nest spans on the
+/// thread whose phase they describe.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a field emitted with the span line. No-ops when inactive.
+  void set(std::string_view key, std::string_view value);
+  void set(std::string_view key, std::uint64_t value);
+
+  bool active() const noexcept { return active_; }
+  std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  bool active_ = false;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t start_us_ = 0;
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Emits an instantaneous event line: {"type":"event","name":...,fields...}.
+/// Fields are key/value string pairs. No-op when tracing() is false.
+void event(std::string_view name,
+           std::initializer_list<std::pair<std::string_view, std::string_view>>
+               fields = {});
+
+/// Microseconds since process start (steady clock) — the time base every
+/// span and event line uses.
+std::uint64_t now_us() noexcept;
+
+}  // namespace gpufi::obs

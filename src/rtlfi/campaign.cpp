@@ -6,7 +6,10 @@
 #include <stdexcept>
 
 #include "common/statistics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rtl/layouts.hpp"
+#include "rtl/state.hpp"
 
 namespace gpufi::rtlfi {
 
@@ -94,6 +97,15 @@ std::vector<std::uint32_t> read_out(const rtl::Sm& sm, std::uint32_t base,
   return v;
 }
 
+/// `gpufi_rtl_outcomes_total{model=...,outcome=...}` — the per-FaultModel
+/// outcome counter every trial bumps (through its chunk's shard, so the
+/// totals are jobs-invariant).
+std::string outcome_metric(const CampaignConfig& cfg, Outcome o) {
+  return obs::label(obs::label("gpufi_rtl_outcomes_total", "model",
+                               rtl::fault_model_name(cfg.fault_model)),
+                    "outcome", outcome_name(o));
+}
+
 }  // namespace
 
 namespace {
@@ -122,8 +134,10 @@ void run_one_fault(rtl::Sm& sm, const Workload& w, const CampaignConfig& cfg,
   fault.duration = cfg.fault_duration;
   fault.period = cfg.burst_period;
 
+  const bool obs_on = obs::enabled();
   rtl::RunResult run;
   if (trace) {
+    if (obs_on) obs::count("gpufi_rtl_checkpoint_restores_total");
     // Acceleration gating across models: floor() only returns rungs at
     // cycles <= fault.cycle, i.e. strictly before the fault window opens,
     // so the fast-forwarded prefix is fault-free for every model; the
@@ -148,11 +162,16 @@ void run_one_fault(rtl::Sm& sm, const Workload& w, const CampaignConfig& cfg,
     ++shard.injected;
     ++shard.masked;
     ++shard.converged_early;
+    if (obs_on) {
+      obs::count("gpufi_rtl_converged_early_total");
+      obs::count(outcome_metric(cfg, Outcome::Masked));
+    }
     return;
   }
 
   const auto faulty_out = read_out(sm, w.out_base, w.out_words);
   const Outcome outcome = classify(run.status, golden_out, faulty_out);
+  if (obs_on) obs::count(outcome_metric(cfg, outcome));
 
   ++shard.injected;
   switch (outcome) {
@@ -212,6 +231,10 @@ void run_one_fault(rtl::Sm& sm, const Workload& w, const CampaignConfig& cfg,
 }  // namespace
 
 GoldenContext prepare_golden(const Workload& w, const CampaignConfig& cfg) {
+  obs::Span span("rtlfi.prepare_golden");
+  span.set("workload", w.name);
+  span.set("accel", acceleration_name(cfg.acceleration));
+  obs::count("gpufi_rtl_golden_builds_total");
   GoldenContext golden;
 
   // Golden run: reference output and fault-window size.
@@ -252,6 +275,11 @@ GoldenContext prepare_golden(const Workload& w, const CampaignConfig& cfg) {
 
 CampaignResult run_campaign(const Workload& w, const CampaignConfig& cfg,
                             const GoldenContext& golden) {
+  obs::Span span("rtlfi.run_campaign");
+  span.set("workload", w.name);
+  span.set("module", rtl::module_name(cfg.module));
+  span.set("model", rtl::fault_model_name(cfg.fault_model));
+  span.set("faults", static_cast<std::uint64_t>(cfg.n_faults));
   const auto& layout = rtl::layouts().of(cfg.module);
   if (layout.bits() == 0) throw std::logic_error("empty module layout");
   if (cfg.acceleration != Acceleration::None && !golden.trace)
@@ -272,6 +300,7 @@ CampaignResult run_campaign(const Workload& w, const CampaignConfig& cfg,
   ec.seed = cfg.seed;
   ec.jobs = cfg.jobs;
   ec.progress = cfg.progress;
+  ec.progress_interval = cfg.progress_interval;
   ec.cancel = cfg.cancel;
   CampaignResult result = exec::run_trials<CampaignResult>(
       ec, [] { return std::make_unique<rtl::Sm>(); },

@@ -13,6 +13,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "rtlfi/campaign.hpp"
 #include "syndrome/syndrome.hpp"
 
@@ -34,16 +35,30 @@ class SharedCache {
  public:
   using Ptr = std::shared_ptr<const Value>;
 
+  /// `cache_label` names this cache in the metrics exposition
+  /// (gpufi_serve_cache_{hits,misses}_total{cache="..."}); empty = no
+  /// metrics.
+  explicit SharedCache(std::string cache_label = {}) {
+    if (!cache_label.empty()) {
+      hits_metric_ = obs::label("gpufi_serve_cache_hits_total", "cache",
+                                cache_label);
+      misses_metric_ = obs::label("gpufi_serve_cache_misses_total", "cache",
+                                  cache_label);
+    }
+  }
+
   Ptr get_or_compute(const std::string& key,
                      const std::function<Value()>& compute) {
     std::shared_future<Ptr> flight;
     std::promise<Ptr> promise;
     bool owner = false;
+    bool hit = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       auto it = entries_.find(key);
       if (it != entries_.end()) {
         ++stats_.hits;
+        hit = true;
         flight = it->second;
       } else {
         ++stats_.misses;
@@ -52,6 +67,7 @@ class SharedCache {
         owner = true;
       }
     }
+    if (!hits_metric_.empty()) obs::count(hit ? hits_metric_ : misses_metric_);
     if (owner) {
       try {
         promise.set_value(std::make_shared<const Value>(compute()));
@@ -80,11 +96,14 @@ class SharedCache {
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_future<Ptr>> entries_;
   CacheStats stats_;
+  std::string hits_metric_, misses_metric_;
 };
 
 /// The two caches a gpufi-serve process shares across requests.
 class Caches {
  public:
+  Caches() : dbs_("db"), goldens_("golden") {}
+
   /// Syndrome database by file path: loads (or builds and saves) once via
   /// core::ensure_syndrome_database, then serves the parsed object to every
   /// request. `jobs` parallelizes a cold build only.

@@ -97,4 +97,27 @@ std::optional<ServerStats> query_stats(const std::string& socket_path,
   return stats;
 }
 
+std::optional<std::string> query_metrics(const std::string& socket_path,
+                                         std::string* error) {
+  const auto fail = [&](std::string msg) -> std::optional<std::string> {
+    if (error) *error = std::move(msg);
+    return std::nullopt;
+  };
+  const int fd = connect_socket(socket_path);
+  if (fd < 0)
+    return fail("connect(" + socket_path + "): " + std::strerror(errno));
+  if (!write_frame(fd, {FrameType::MetricsRequest, ""})) {
+    ::close(fd);
+    return fail("failed to send the metrics request");
+  }
+  Frame f;
+  const ReadStatus st = read_frame(fd, f);
+  ::close(fd);
+  if (st != ReadStatus::Ok) return fail("no metrics reply from server");
+  if (f.type == FrameType::Error) return fail(std::move(f.payload));
+  if (f.type != FrameType::Metrics)
+    return fail("unexpected reply frame type");
+  return std::move(f.payload);
+}
+
 }  // namespace gpufi::serve

@@ -36,4 +36,10 @@ SubmitOutcome submit_campaign(
 std::optional<ServerStats> query_stats(const std::string& socket_path,
                                        std::string* error = nullptr);
 
+/// Asks the daemon for its Prometheus text exposition (a Metrics frame in
+/// answer to MetricsRequest). Returns nullopt (filling `error` when given)
+/// if the daemon is unreachable or answers with anything else.
+std::optional<std::string> query_metrics(const std::string& socket_path,
+                                         std::string* error = nullptr);
+
 }  // namespace gpufi::serve

@@ -112,7 +112,7 @@ bool for_each_kv(std::string_view payload, std::string* error,
 
 bool frame_type_valid(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::Submit) &&
-         t <= static_cast<std::uint8_t>(FrameType::Stats);
+         t <= static_cast<std::uint8_t>(FrameType::Metrics);
 }
 
 std::string encode_frame(const Frame& f) {
@@ -239,6 +239,7 @@ std::string encode_spec(const CampaignSpec& spec) {
   put_kv(out, "models", spec.models_dir);
   put_kv(out, "priority", std::to_string(spec.priority));
   put_kv(out, "deadline_ms", spec.deadline_ms);
+  put_kv(out, "progress_interval", spec.progress_interval);
   return out;
 }
 
@@ -306,6 +307,12 @@ std::optional<CampaignSpec> decode_spec(std::string_view payload,
           return true;
         }
         if (key == "deadline_ms") return number(spec.deadline_ms);
+        if (key == "progress_interval") {
+          std::uint64_t v;
+          if (!number(v)) return false;
+          spec.progress_interval = v;
+          return true;
+        }
         return fail("unknown spec key: " + std::string(key));
       });
   if (!ok) return std::nullopt;

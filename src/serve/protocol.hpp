@@ -52,6 +52,12 @@ enum class FrameType : std::uint8_t {
   Result = 4,    ///< server -> client: final campaign serialization
   Error = 5,     ///< server -> client: human-readable failure/rejection
   Stats = 6,     ///< server -> client: queue/cache/counter snapshot
+  /// client -> server: metrics scrape request (empty payload); answered
+  /// with one Metrics frame.
+  MetricsRequest = 7,
+  /// server -> client: Prometheus text exposition of the daemon's metric
+  /// registry (gpufi_* counters/gauges/histograms).
+  Metrics = 8,
 };
 
 /// True for types defined above (wire bytes outside the enum are rejected).
@@ -139,6 +145,8 @@ struct CampaignSpec {
   std::string models_dir = "gpufi_data";
   int priority = 0;              ///< lower value = served earlier
   std::uint64_t deadline_ms = 0;  ///< wall-clock budget; 0 = none
+  /// Progress frame every this many trials; 0 = automatic throttle.
+  std::size_t progress_interval = 0;
 
   bool operator==(const CampaignSpec&) const = default;
 };

@@ -9,6 +9,7 @@
 // letting workers drain what was already accepted — the graceful-SIGTERM
 // path — and drain_pending() empties the queue for a forced shutdown.
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -32,6 +33,9 @@ struct Job {
   /// Cooperative stop flag shared with the connection watcher: client
   /// disconnect / deadline expiry cancel the trial loop through it.
   std::shared_ptr<exec::CancelToken> cancel;
+  /// Admission time — the queue-wait histogram measures from here to the
+  /// moment a worker picks the job up.
+  std::chrono::steady_clock::time_point enqueued_at{};
 };
 
 class JobQueue {

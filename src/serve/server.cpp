@@ -17,6 +17,8 @@
 
 #include "core/gpufi.hpp"
 #include "nn/gpu_infer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/queue.hpp"
 #include "vocab/vocab.hpp"
 
@@ -64,6 +66,7 @@ rtlfi::CampaignConfig campaign_config(const CampaignSpec& spec,
   cc.fault_duration = spec.fault_duration;
   cc.burst_period = spec.burst_period;
   cc.progress = progress;
+  cc.progress_interval = spec.progress_interval;
   cc.cancel = cancel;
   return cc;
 }
@@ -75,6 +78,8 @@ std::string run_spec(const CampaignSpec& spec, Caches& caches,
                      const exec::CancelToken* cancel) {
   if (const auto err = validate_spec(spec))
     throw std::invalid_argument(*err);
+  obs::Span span("serve.run_spec");
+  span.set("kind", campaign_kind_name(spec.kind));
 
   switch (spec.kind) {
     case CampaignKind::Rtl: {
@@ -108,6 +113,7 @@ std::string run_spec(const CampaignSpec& spec, Caches& caches,
       cfg.seed = spec.seed;
       cfg.jobs = spec.jobs;
       cfg.progress = progress;
+      cfg.progress_interval = spec.progress_interval;
       cfg.cancel = cancel;
       std::shared_ptr<const syndrome::Database> db;
       if (cfg.model == swfi::FaultModel::RelativeError ||
@@ -244,7 +250,22 @@ struct Server::Impl {
   void handle_connection(int fd);
   void worker_loop();
   void handle_job(Job job);
+  /// Syncs the point-in-time gauges (queue depth, active jobs, pool shape)
+  /// into the metric registry — called at scrape time, so a Metrics frame
+  /// always reflects the live state.
+  void refresh_gauges();
 };
+
+void Server::Impl::refresh_gauges() {
+  obs::set_gauge("gpufi_serve_queue_depth",
+                 static_cast<std::int64_t>(queue.depth()));
+  obs::set_gauge("gpufi_serve_queue_capacity",
+                 static_cast<std::int64_t>(queue.capacity()));
+  obs::set_gauge("gpufi_serve_active_jobs",
+                 static_cast<std::int64_t>(active.load()));
+  obs::set_gauge("gpufi_serve_workers",
+                 static_cast<std::int64_t>(workers.size()));
+}
 
 void Server::Impl::log(const char* fmt, ...) const {
   if (cfg.quiet) return;
@@ -275,8 +296,19 @@ void Server::Impl::handle_connection(int fd) {
   Frame req;
   const ReadStatus st = read_frame(fd, req);
   if (st != ReadStatus::Ok) {
-    if (st != ReadStatus::Eof)
+    if (st != ReadStatus::Eof) {
+      obs::count("gpufi_serve_bad_requests_total");
       write_frame(fd, {FrameType::Error, "malformed request frame"});
+    }
+    ::close(fd);
+    return;
+  }
+
+  if (req.type == FrameType::MetricsRequest) {
+    refresh_gauges();
+    write_frame(fd,
+                {FrameType::Metrics,
+                 obs::Registry::global().render_prometheus()});
     ::close(fd);
     return;
   }
@@ -300,6 +332,7 @@ void Server::Impl::handle_connection(int fd) {
   }
 
   if (req.type != FrameType::Submit) {
+    obs::count("gpufi_serve_bad_requests_total");
     write_frame(fd, {FrameType::Error, "expected a Submit or Status frame"});
     ::close(fd);
     return;
@@ -309,6 +342,7 @@ void Server::Impl::handle_connection(int fd) {
   const auto spec = decode_spec(req.payload, &error);
   if (!spec) {
     ++failed;
+    obs::count("gpufi_serve_jobs_failed_total");
     write_frame(fd, {FrameType::Error, "invalid campaign spec: " + error});
     ::close(fd);
     return;
@@ -323,9 +357,11 @@ void Server::Impl::handle_connection(int fd) {
       spec->deadline_ms != 0 ? spec->deadline_ms : cfg.default_deadline_ms;
   if (deadline_ms != 0)
     job.cancel->set_deadline_after(std::chrono::milliseconds(deadline_ms));
+  job.enqueued_at = std::chrono::steady_clock::now();
 
   if (!queue.push(std::move(job))) {
     // Admission control: reject-with-backpressure instead of buffering.
+    obs::count("gpufi_serve_jobs_rejected_total");
     write_frame(fd, {FrameType::Error,
                      "queue full (capacity " +
                          std::to_string(queue.capacity()) +
@@ -335,6 +371,7 @@ void Server::Impl::handle_connection(int fd) {
     return;
   }
   ++accepted;
+  obs::count("gpufi_serve_jobs_accepted_total");
   log("accepted %s job (queued %zu)",
       std::string(campaign_kind_name(spec->kind)).c_str(), queue.depth());
 }
@@ -351,6 +388,14 @@ void Server::Impl::handle_job(Job job) {
   }
   const auto token = job.cancel;
   const int fd = job.fd;
+
+  obs::observe("gpufi_serve_queue_wait_seconds",
+               std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             job.enqueued_at)
+                   .count());
+  obs::Span span("serve.request");
+  span.set("kind", campaign_kind_name(job.spec.kind));
+  span.set("id", job.id);
 
   // Progress streamer + disconnect detector: a client that closed its end
   // surfaces as recv()==0 (orderly FIN) or a failed frame write, either of
@@ -372,12 +417,15 @@ void Server::Impl::handle_job(Job job) {
         run_spec(job.spec, caches, progress, token.get());
     if (write_frame(fd, {FrameType::Result, payload})) {
       ++completed;
+      obs::count("gpufi_serve_jobs_completed_total");
       log("job %llu done", static_cast<unsigned long long>(job.id));
     } else {
       ++cancelled;  // client vanished between the last trial and the result
+      obs::count("gpufi_serve_jobs_cancelled_total");
     }
   } catch (const CancelledError&) {
     ++cancelled;
+    obs::count("gpufi_serve_jobs_cancelled_total");
     const char* why = token->cancelled() ? "campaign cancelled"
                                          : "deadline exceeded";
     write_frame(fd, {FrameType::Error, why});
@@ -387,11 +435,13 @@ void Server::Impl::handle_job(Job job) {
       // A cancelled shared computation (e.g. DB build) may surface as a
       // generic exception; classify by the token, not the message.
       ++cancelled;
+      obs::count("gpufi_serve_jobs_cancelled_total");
       write_frame(fd, {FrameType::Error, token->cancelled()
                                              ? "campaign cancelled"
                                              : "deadline exceeded"});
     } else {
       ++failed;
+      obs::count("gpufi_serve_jobs_failed_total");
       write_frame(fd, {FrameType::Error,
                        std::string("campaign failed: ") + e.what()});
       log("job %llu failed: %s", static_cast<unsigned long long>(job.id),

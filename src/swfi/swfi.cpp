@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "common/statistics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rtlfi/microbench.hpp"
 
 namespace gpufi::swfi {
@@ -170,11 +172,20 @@ void Result::merge(const Result& other) {
 }
 
 Result run_sw_campaign(const App& app, const Config& cfg) {
+  obs::Span span("swfi.run_sw_campaign");
+  span.set("app", app.name);
+  span.set("model", fault_model_name(cfg.model));
+  span.set("injections", static_cast<std::uint64_t>(cfg.n_injections));
+
   // Golden pass: profile + reference output.
   ProfileHook profile;
   emu::Device golden(app.device_words);
-  if (!app.run(golden, &profile))
-    throw std::runtime_error("golden run failed for " + app.name);
+  {
+    obs::Span golden_span("swfi.golden_profile");
+    golden_span.set("app", app.name);
+    if (!app.run(golden, &profile))
+      throw std::runtime_error("golden run failed for " + app.name);
+  }
   const auto golden_out = app.read_output(golden);
   const std::uint64_t candidates = profile.candidates();
   if (candidates == 0)
@@ -185,6 +196,7 @@ Result run_sw_campaign(const App& app, const Config& cfg) {
   ec.seed = cfg.seed;
   ec.jobs = cfg.jobs;
   ec.progress = cfg.progress;
+  ec.progress_interval = cfg.progress_interval;
   ec.cancel = cfg.cancel;
   Result result = exec::run_trials<Result>(
       ec, [] { return 0; },
@@ -194,15 +206,29 @@ Result run_sw_campaign(const App& app, const Config& cfg) {
                         app.memory_is_float, cfg.syndrome_model);
         emu::Device dev(app.device_words);
         const bool ok = app.run(dev, &hook);
+        const bool obs_on = obs::enabled();
+        if (obs_on)
+          // Per-opcode shot accounting: which instruction the trial actually
+          // corrupted ("none" = the draw landed past the dynamic stream,
+          // e.g. a DUE killed the run before the target retired).
+          obs::count(obs::label(
+              "gpufi_sw_injections_total", "opcode",
+              hook.fired() ? isa::mnemonic(hook.hit_opcode()) : "none"));
         ++shard.injections;
+        std::string_view outcome;
         if (!ok) {
           ++shard.due;
-          return;
-        }
-        if (app.read_output(dev) == golden_out)
+          outcome = "DUE";
+        } else if (app.read_output(dev) == golden_out) {
           ++shard.masked;
-        else
+          outcome = "Masked";
+        } else {
           ++shard.sdc;
+          outcome = "SDC";
+        }
+        if (obs_on)
+          obs::count(
+              obs::label("gpufi_sw_outcomes_total", "outcome", outcome));
       });
   result.candidate_instructions = candidates;
   return result;

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "common/statistics.hpp"
+#include "obs/metrics.hpp"
 
 namespace gpufi::syndrome {
 
@@ -189,9 +190,14 @@ std::optional<double> Database::sample_relative_error(
     }
   };
   build_pool(model);
-  if (total == 0 && model != rtl::FaultModel::Transient)
+  if (total == 0 && model != rtl::FaultModel::Transient) {
+    obs::count("gpufi_syndrome_transient_fallback_total");
     build_pool(rtl::FaultModel::Transient);
-  if (total == 0) return std::nullopt;
+  }
+  if (total == 0) {
+    obs::count("gpufi_syndrome_sample_miss_total");
+    return std::nullopt;
+  }
   std::size_t target = rng.below(total);
   for (const Dist* d : pool) {
     if (target < d->count()) return d->sample(rng);

@@ -89,6 +89,17 @@ std::optional<nn::CnnFaultModel> parse_cnn_model(std::string_view s) {
   return std::nullopt;
 }
 
+std::optional<std::size_t> parse_progress_interval(std::string_view s) {
+  if (s.empty() || s.size() > 18) return std::nullopt;  // 18 digits < 2^63
+  std::size_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (v == 0) return std::nullopt;
+  return v;
+}
+
 bool is_known_app(std::string_view s) {
   return s == "mxm" || s == "gaussian" || s == "lud" || s == "hotspot" ||
          s == "lava" || s == "quicksort";

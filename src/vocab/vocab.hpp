@@ -48,6 +48,12 @@ std::optional<swfi::FaultModel> parse_sw_model(std::string_view s);
 /// CNN fault-model token: bitflip|syndrome|tmxm.
 std::optional<nn::CnnFaultModel> parse_cnn_model(std::string_view s);
 
+/// Progress-interval token: a positive decimal trial count ("1", "250").
+/// Rejects zero, signs, non-digits, leading '+', and overflow — shared by
+/// the CLI `--progress-interval` flag and the serve-spec codec so both
+/// layers accept exactly the same strings.
+std::optional<std::size_t> parse_progress_interval(std::string_view s);
+
 /// True when `s` names one of the HPC applications of `gpufi sw`.
 bool is_known_app(std::string_view s);
 

@@ -1,0 +1,303 @@
+// Unit tests for the gpufi-obs subsystem: registry primitives, histogram
+// bucket determinism, shard-merge associativity (the property that makes the
+// chunk-ordered absorb deterministic for any --jobs value), the Prometheus
+// text exposition, the runtime kill switch, and the JSONL trace sink.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gpufi::obs {
+namespace {
+
+/// Every test works on a private Registry (or resets the global one) so the
+/// suite stays order-independent.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::global().reset();
+    set_enabled(true);
+    set_trace_sink(nullptr);
+  }
+  void TearDown() override {
+    Registry::global().reset();
+    set_enabled(true);
+    set_trace_sink(nullptr);
+  }
+};
+
+TEST_F(ObsTest, CounterAndGaugeBasics) {
+  Registry r;
+  r.counter("gpufi_test_total").add();
+  r.counter("gpufi_test_total").add(41);
+  EXPECT_EQ(r.counter_value("gpufi_test_total"), 42u);
+  EXPECT_EQ(r.counter_value("never_touched"), 0u);
+
+  r.gauge("gpufi_test_depth").set(7);
+  r.gauge("gpufi_test_depth").add(-3);
+  EXPECT_EQ(r.gauge_value("gpufi_test_depth"), 4);
+}
+
+TEST_F(ObsTest, HistogramBucketAssignmentIsDeterministic) {
+  // Bucket index is a pure function of the observed value and the fixed
+  // bounds: a value exactly on a bound lands in that bound's bucket, and the
+  // ladder's edges behave (below the first bound, above the last).
+  Registry r;
+  auto& h = r.histogram("gpufi_test_seconds");
+  const auto& bounds = default_latency_buckets();
+  ASSERT_FALSE(bounds.empty());
+
+  h.observe(0.0);                      // under the first bound
+  h.observe(bounds.front());           // exactly on the first bound
+  h.observe(bounds.back());            // exactly on the last bound
+  h.observe(bounds.back() * 2);        // overflow -> +Inf bucket
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), bounds.size() + 1);
+  EXPECT_EQ(counts.front(), 2u);  // 0.0 and bounds.front()
+  EXPECT_EQ(counts[bounds.size() - 1], 1u);
+  EXPECT_EQ(counts.back(), 1u);  // +Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(),
+                   bounds.front() + bounds.back() + bounds.back() * 2);
+
+  // Re-observing the same values doubles every bucket — no hidden state.
+  h.observe(0.0);
+  h.observe(bounds.front());
+  h.observe(bounds.back());
+  h.observe(bounds.back() * 2);
+  const auto twice = h.bucket_counts();
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    EXPECT_EQ(twice[i], 2 * counts[i]) << "bucket " << i;
+}
+
+TEST_F(ObsTest, ShardMergeIsAssociative) {
+  // (a + b) + c == a + (b + c) for counters, bucket counts and observation
+  // counts — the exact property run_trials relies on when it absorbs shards
+  // in chunk-index order regardless of which worker filled which chunk.
+  const auto fill = [](Shard& s, std::uint64_t salt) {
+    s.add("gpufi_trials_total", 3 + salt);
+    s.add("gpufi_chunks_total");
+    for (std::uint64_t i = 0; i < 4; ++i)
+      s.observe("gpufi_trial_seconds", 1e-5 * static_cast<double>(i + salt));
+  };
+  Shard a1, b1, c1, a2, b2, c2;
+  fill(a1, 1); fill(b1, 2); fill(c1, 3);
+  fill(a2, 1); fill(b2, 2); fill(c2, 3);
+
+  Shard left;   // (a + b) + c
+  left.merge(a1); left.merge(b1); left.merge(c1);
+  Shard bc;     // a + (b + c)
+  bc.merge(b2); bc.merge(c2);
+  Shard right;
+  right.merge(a2); right.merge(bc);
+
+  EXPECT_EQ(left.counters(), right.counters());
+  ASSERT_EQ(left.histograms().size(), right.histograms().size());
+  for (const auto& [name, hl] : left.histograms()) {
+    const auto it = right.histograms().find(name);
+    ASSERT_NE(it, right.histograms().end());
+    EXPECT_EQ(hl.counts, it->second.counts);
+    EXPECT_EQ(hl.count, it->second.count);
+    EXPECT_DOUBLE_EQ(hl.sum, it->second.sum);
+  }
+}
+
+TEST_F(ObsTest, AbsorbingShardsInChunkOrderMatchesDirectObservation) {
+  // The registry after absorbing shards chunk-by-chunk equals the registry
+  // after making every observation directly — same counters, same buckets,
+  // same count, same (order-fixed) sum.
+  Registry direct;
+  Registry sharded;
+  std::vector<Shard> shards(3);
+  for (std::size_t c = 0; c < shards.size(); ++c) {
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      const double v = 1e-4 * static_cast<double>(c * 5 + i);
+      direct.counter("gpufi_trials_total").add();
+      direct.histogram("gpufi_trial_seconds").observe(v);
+      shards[c].add("gpufi_trials_total");
+      shards[c].observe("gpufi_trial_seconds", v);
+    }
+  }
+  for (const auto& s : shards) sharded.absorb(s);
+
+  EXPECT_EQ(sharded.counter_value("gpufi_trials_total"),
+            direct.counter_value("gpufi_trials_total"));
+  auto& hd = direct.histogram("gpufi_trial_seconds");
+  auto& hs = sharded.histogram("gpufi_trial_seconds");
+  EXPECT_EQ(hs.bucket_counts(), hd.bucket_counts());
+  EXPECT_EQ(hs.count(), hd.count());
+  EXPECT_DOUBLE_EQ(hs.sum(), hd.sum());
+  // And the full exposition — the scraped artifact — is byte-identical.
+  EXPECT_EQ(sharded.render_prometheus(), direct.render_prometheus());
+}
+
+TEST_F(ObsTest, RenderPrometheusFormat) {
+  Registry r;
+  r.counter("gpufi_jobs_total").add(3);
+  r.counter(label("gpufi_outcomes_total", "outcome", "SDC")).add(2);
+  r.gauge("gpufi_queue_depth").set(5);
+  r.histogram("gpufi_wait_seconds").observe(2e-6);
+  const std::string text = r.render_prometheus();
+
+  EXPECT_NE(text.find("# TYPE gpufi_jobs_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gpufi_jobs_total 3\n"), std::string::npos);
+  // The TYPE header names the family (text up to the label brace), the
+  // sample line keeps its labels.
+  EXPECT_NE(text.find("# TYPE gpufi_outcomes_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gpufi_outcomes_total{outcome=\"SDC\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE gpufi_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gpufi_queue_depth 5\n"), std::string::npos);
+  // Histogram: cumulative le buckets ending in +Inf, then _sum and _count.
+  EXPECT_NE(text.find("# TYPE gpufi_wait_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gpufi_wait_seconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gpufi_wait_seconds_count 1\n"), std::string::npos);
+  // Cumulative: every le bucket count is <= the +Inf count, and the first
+  // bucket at or above 2e-6 already holds the observation.
+  EXPECT_NE(text.find("gpufi_wait_seconds_bucket{le=\"2e-06\"} 1\n"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, LabelBuilder) {
+  EXPECT_EQ(label("m_total", "k", "v"), "m_total{k=\"v\"}");
+  EXPECT_EQ(label(label("m_total", "a", "1"), "b", "2"),
+            "m_total{a=\"1\",b=\"2\"}");
+}
+
+TEST_F(ObsTest, DisabledHelpersAreNoOps) {
+  set_enabled(false);
+  count("gpufi_dead_total", 5);
+  observe("gpufi_dead_seconds", 1.0);
+  set_gauge("gpufi_dead_depth", 9);
+  EXPECT_EQ(Registry::global().counter_value("gpufi_dead_total"), 0u);
+  EXPECT_EQ(Registry::global().gauge_value("gpufi_dead_depth"), 0);
+  set_enabled(true);
+  count("gpufi_dead_total", 5);
+  EXPECT_EQ(Registry::global().counter_value("gpufi_dead_total"), 5u);
+}
+
+TEST_F(ObsTest, ScopedShardRoutesHotPathHelpers) {
+  Shard s;
+  {
+    ScopedShard scope(&s);
+    EXPECT_EQ(ScopedShard::current(), &s);
+    count("gpufi_routed_total", 2);
+    observe("gpufi_routed_seconds", 1e-3);
+  }
+  EXPECT_EQ(ScopedShard::current(), nullptr);
+  // The increments landed in the shard, not the global registry...
+  EXPECT_EQ(Registry::global().counter_value("gpufi_routed_total"), 0u);
+  EXPECT_EQ(s.counters().at("gpufi_routed_total"), 2u);
+  // ...until the shard is absorbed.
+  Registry::global().absorb(s);
+  EXPECT_EQ(Registry::global().counter_value("gpufi_routed_total"), 2u);
+  // Outside the scope the helpers hit the registry directly again.
+  count("gpufi_routed_total");
+  EXPECT_EQ(Registry::global().counter_value("gpufi_routed_total"), 3u);
+}
+
+TEST_F(ObsTest, SpansAreInertWithoutASink) {
+  EXPECT_FALSE(tracing());
+  Span span("test.phase");
+  EXPECT_FALSE(span.active());
+  span.set("k", "v");  // must not crash or allocate into a sink
+  event("test.event");
+}
+
+TEST_F(ObsTest, TraceSinkWritesSpanAndEventLines) {
+  std::ostringstream os;
+  set_trace_sink(TraceSink::to_stream(os));
+  ASSERT_TRUE(tracing());
+  std::uint64_t outer_id = 0;
+  {
+    Span outer("test.outer");
+    EXPECT_TRUE(outer.active());
+    outer_id = outer.id();
+    outer.set("workload", "mxm");
+    outer.set("faults", std::uint64_t{42});
+    event("test.tick", {{"phase", "warmup"}});
+    {
+      Span inner("test.inner");
+      EXPECT_TRUE(inner.active());
+      EXPECT_NE(inner.id(), outer_id);
+    }
+  }
+  set_trace_sink(nullptr);
+  EXPECT_FALSE(tracing());
+
+  const std::string text = os.str();
+  std::istringstream lines(text);
+  std::string line;
+  std::vector<std::string> all;
+  while (std::getline(lines, line)) all.push_back(line);
+  // Event first (instantaneous), then inner (closes first), then outer.
+  ASSERT_EQ(all.size(), 3u);
+  for (const auto& l : all) {
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+  }
+  EXPECT_NE(all[0].find("\"type\":\"event\""), std::string::npos);
+  EXPECT_NE(all[0].find("\"name\":\"test.tick\""), std::string::npos);
+  EXPECT_NE(all[0].find("\"phase\":\"warmup\""), std::string::npos);
+  // The event is attributed to the enclosing span.
+  EXPECT_NE(all[0].find("\"span\":" + std::to_string(outer_id)),
+            std::string::npos);
+  EXPECT_NE(all[1].find("\"name\":\"test.inner\""), std::string::npos);
+  // Inner's parent is outer.
+  EXPECT_NE(all[1].find("\"parent\":" + std::to_string(outer_id)),
+            std::string::npos);
+  EXPECT_NE(all[2].find("\"name\":\"test.outer\""), std::string::npos);
+  EXPECT_NE(all[2].find("\"workload\":\"mxm\""), std::string::npos);
+  EXPECT_NE(all[2].find("\"faults\":\"42\""), std::string::npos);
+  EXPECT_NE(all[2].find("\"dur_us\":"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("x\ny"), "x\\ny");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST_F(ObsTest, ConcurrentDirectCountsAreLossless) {
+  // The direct path is atomic: concurrent adds never drop increments (the
+  // TSan job runs this to certify the locking/atomic discipline).
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        count("gpufi_race_total");
+        observe("gpufi_race_seconds", 1e-5);
+      }
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(Registry::global().counter_value("gpufi_race_total"),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(Registry::global().histogram("gpufi_race_seconds").count(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST_F(ObsTest, ResetDropsEverything) {
+  count("gpufi_gone_total", 4);
+  set_gauge("gpufi_gone_depth", 2);
+  Registry::global().reset();
+  EXPECT_EQ(Registry::global().counter_value("gpufi_gone_total"), 0u);
+  EXPECT_EQ(Registry::global().gauge_value("gpufi_gone_depth"), 0);
+  EXPECT_EQ(Registry::global().render_prometheus(), "");
+}
+
+}  // namespace
+}  // namespace gpufi::obs

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rtlfi/campaign.hpp"
 #include "rtlfi/microbench.hpp"
 #include "syndrome/syndrome.hpp"
@@ -179,6 +181,53 @@ TEST(CampaignEquivalence, PermanentFaultsNeverEarlyExit) {
       cs.front(), Acceleration::CheckpointEarlyExit, 1,
       rtl::FaultModel::StuckAt1, /*duration=*/1);
   EXPECT_GT(windowed.converged_early, 0u);
+}
+
+TEST(CampaignEquivalence, ObservabilityOnOffByteIdentity) {
+  // The observability layer is a pure observer: campaign results and the
+  // serialized syndrome-DB bytes must be byte-identical with metrics +
+  // tracing fully on versus runtime-disabled, across fault models,
+  // acceleration levels and job counts. This is the hard contract that lets
+  // production runs keep telemetry on without re-validating determinism.
+  const auto all = cases();
+  const Case obs_cases[] = {all[0], all[6]};  // FFMA/fp32, t-MxM/sched
+  const rtl::FaultModel models[] = {rtl::FaultModel::Transient,
+                                    rtl::FaultModel::StuckAt1};
+  for (const auto& c : obs_cases) {
+    for (const auto model : models) {
+      SCOPED_TRACE(c.workload.name + " / " +
+                   std::string(rtl::fault_model_name(model)));
+      // Baseline: observability runtime-disabled.
+      obs::set_enabled(false);
+      const CampaignResult base =
+          run_mode(c, Acceleration::None, 1, model);
+      // Instrumented: metrics on AND a live trace sink, across the
+      // accel x jobs grid.
+      obs::set_enabled(true);
+      obs::Registry::global().reset();
+      std::ostringstream trace;
+      obs::set_trace_sink(obs::TraceSink::to_stream(trace));
+      for (const auto accel :
+           {Acceleration::None, Acceleration::CheckpointEarlyExit}) {
+        for (const unsigned jobs : {1u, 4u}) {
+          expect_identical(c, base, run_mode(c, accel, jobs, model),
+                           "obs-on vs obs-off", model);
+        }
+      }
+      obs::set_trace_sink(nullptr);
+      // The instrumentation actually ran: trial counters advanced and the
+      // trace captured span lines (guards against a vacuous pass where the
+      // obs path was never exercised).
+      EXPECT_GE(obs::Registry::global().counter_value(
+                    "gpufi_exec_trials_total"),
+                4 * c.n_faults);
+      EXPECT_FALSE(trace.str().empty());
+      EXPECT_NE(trace.str().find("\"name\":\"rtlfi.run_campaign\""),
+                std::string::npos);
+    }
+  }
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
 }
 
 TEST(StuckAtAcceptance, SchedulerStuckAt1ProducesHangsTransientDoesNot) {

@@ -14,11 +14,13 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/cache.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
 #include "serve/server.hpp"
+#include "vocab/vocab.hpp"
 
 using namespace gpufi;
 using namespace gpufi::serve;
@@ -200,6 +202,7 @@ TEST(Protocol, SpecRoundTripsEveryField) {
   spec.models_dir = "some/dir";
   spec.priority = -2;
   spec.deadline_ms = 1500;
+  spec.progress_interval = 25;
   std::string error;
   const auto back = decode_spec(encode_spec(spec), &error);
   ASSERT_TRUE(back.has_value()) << error;
@@ -227,6 +230,21 @@ TEST(Protocol, SpecDecodeIsStrict) {
   EXPECT_NE(error.find("fault model"), std::string::npos);
   EXPECT_FALSE(decode_spec("kind=sw\nfault_model=stuckX\n", &error)
                    .has_value());
+}
+
+TEST(Vocab, ParseProgressIntervalIsStrict) {
+  // The shared CLI/wire validator: positive decimal integers only. A zero
+  // interval, any non-digit and overflow-range inputs are usage errors.
+  EXPECT_EQ(vocab::parse_progress_interval("1"), std::size_t{1});
+  EXPECT_EQ(vocab::parse_progress_interval("2500"), std::size_t{2500});
+  EXPECT_FALSE(vocab::parse_progress_interval("0").has_value());
+  EXPECT_FALSE(vocab::parse_progress_interval("").has_value());
+  EXPECT_FALSE(vocab::parse_progress_interval("-5").has_value());
+  EXPECT_FALSE(vocab::parse_progress_interval("12x").has_value());
+  EXPECT_FALSE(vocab::parse_progress_interval("1e3").has_value());
+  // 19 digits exceeds the accepted width.
+  EXPECT_FALSE(
+      vocab::parse_progress_interval("9999999999999999999").has_value());
 }
 
 TEST(Protocol, ProgressRoundTrips) {
@@ -452,6 +470,50 @@ TEST(Serve, ServedSwCampaignMatchesOffline) {
   ASSERT_TRUE(outcome.ok) << outcome.error;
   EXPECT_EQ(outcome.result, offline);
   server.shutdown(true);
+}
+
+TEST(Serve, MetricsScrapeReportsCountersAndQueueState) {
+  // A MetricsRequest frame answers with the Prometheus text exposition:
+  // after one served campaign the job counters have advanced, the engine
+  // trial counter matches the submitted fault count, and the queue gauges
+  // show an idle daemon.
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+  ServerConfig cfg;
+  cfg.socket_path = "serve_metrics.sock";
+  cfg.workers = 1;
+  Server server(cfg);
+  server.start();
+  const auto spec = small_rtl_spec();
+  const auto outcome = submit_campaign(cfg.socket_path, spec);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  // The completed counter is bumped by the worker after the Result frame is
+  // written; give the worker a beat to retire the job.
+  ASSERT_TRUE(wait_until([] {
+    return obs::Registry::global().counter_value(
+               "gpufi_serve_jobs_completed_total") >= 1;
+  }));
+
+  std::string error;
+  const auto text = query_metrics(cfg.socket_path, &error);
+  ASSERT_TRUE(text.has_value()) << error;
+  EXPECT_NE(text->find("# TYPE"), std::string::npos);
+  EXPECT_NE(text->find("gpufi_serve_jobs_accepted_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(text->find("gpufi_serve_jobs_completed_total 1\n"),
+            std::string::npos);
+  // One trial per fault ran through the engine.
+  EXPECT_NE(text->find("gpufi_exec_trials_total " +
+                       std::to_string(spec.faults) + "\n"),
+            std::string::npos);
+  // Gauges show a drained, idle daemon.
+  EXPECT_NE(text->find("gpufi_serve_queue_depth 0\n"), std::string::npos);
+  EXPECT_NE(text->find("gpufi_serve_active_jobs 0\n"), std::string::npos);
+  // The queue-wait histogram observed the one admitted job.
+  EXPECT_NE(text->find("gpufi_serve_queue_wait_seconds_count 1\n"),
+            std::string::npos);
+  server.shutdown(true);
+  obs::Registry::global().reset();
 }
 
 TEST(Serve, ConcurrentRequestsShareOneCachedGolden) {
