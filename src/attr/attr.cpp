@@ -1,0 +1,271 @@
+#include "attr/attr.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+
+namespace gpufi::attr {
+
+namespace {
+
+/// Fixed-width probability formatting so renderings are byte-stable.
+std::string fmt_prob(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+std::string json_str(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+SiteKey site_key(const rtl::FaultSiteContext& site) {
+  SiteKey k;
+  k.live = site.live;
+  if (site.live) {
+    k.pc = site.pc;
+    k.op = site.op;
+  }
+  return k;
+}
+
+void SiteCounts::merge(const SiteCounts& o) {
+  hits += o.hits;
+  masked += o.masked;
+  sdc_single += o.sdc_single;
+  sdc_multi += o.sdc_multi;
+  due += o.due;
+  for (std::size_t i = 0; i < due_by_reason.size(); ++i)
+    due_by_reason[i] += o.due_by_reason[i];
+}
+
+void merge_tables(SiteTable& into, const SiteTable& from) {
+  for (const auto& [key, counts] : from) into[key].merge(counts);
+}
+
+Report build_report(std::string workload, const rtl::LivenessTimeline& timeline,
+                    const std::vector<CampaignSlice>& slices) {
+  Report r;
+  r.workload = std::move(workload);
+  r.golden_cycles = timeline.total_cycles();
+
+  // Residency denominators: total run cycles and the idle remainder.
+  std::uint64_t live_total = 0;
+  for (const auto& iv : timeline.intervals())
+    if (iv.end > iv.start) live_total += iv.end - iv.start;
+  const double cycles = r.golden_cycles ? static_cast<double>(r.golden_cycles)
+                                        : 1.0;
+  const double idle_residency =
+      r.golden_cycles > live_total
+          ? static_cast<double>(r.golden_cycles - live_total) / cycles
+          : 0.0;
+
+  // Per-(live, op) aggregate across modules and per-reason DUE tallies.
+  std::map<std::pair<bool, isa::Opcode>, OpcodeRow> op_agg;
+  std::array<std::uint64_t, vocab::kNumDueReasons> due_totals{};
+
+  for (const auto& slice : slices) {
+    r.injected += slice.injected;
+    for (const auto& [key, counts] : slice.sites) {
+      InstrRow row;
+      row.module = slice.module;
+      row.live = key.live;
+      row.pc = key.pc;
+      row.op = key.op;
+      row.hits = counts.hits;
+      row.masked = counts.masked;
+      row.sdc = counts.sdc();
+      row.due = counts.due;
+      row.p_sdc = counts.hits
+                      ? static_cast<double>(row.sdc) /
+                            static_cast<double>(counts.hits)
+                      : 0.0;
+      const auto ci = stats::wilson_interval(row.sdc, counts.hits);
+      row.sdc_lo = ci.lo;
+      row.sdc_hi = ci.hi;
+      row.residency =
+          key.live
+              ? static_cast<double>(timeline.live_cycles_at_pc(key.pc)) / cycles
+              : idle_residency;
+      row.score = row.residency * row.p_sdc;
+      r.rows.push_back(std::move(row));
+
+      if (key.live)
+        r.attributed += counts.hits;
+      else
+        r.unattributed += counts.hits;
+
+      auto& agg = op_agg[{key.live, key.live ? key.op : isa::Opcode::NOP}];
+      agg.op = key.live ? key.op : isa::Opcode::NOP;
+      agg.live = key.live;
+      agg.hits += counts.hits;
+      agg.sdc += counts.sdc();
+      agg.due += counts.due;
+
+      for (std::size_t i = 0; i < counts.due_by_reason.size(); ++i)
+        due_totals[i] += counts.due_by_reason[i];
+    }
+  }
+
+  // Instruction rows: most vulnerable first (score, then P(SDC|hit)),
+  // total order completed by (module, live, pc) so rendering is stable.
+  std::sort(r.rows.begin(), r.rows.end(),
+            [](const InstrRow& a, const InstrRow& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.p_sdc != b.p_sdc) return a.p_sdc > b.p_sdc;
+              if (a.module != b.module) return a.module < b.module;
+              if (a.live != b.live) return a.live > b.live;
+              return a.pc < b.pc;
+            });
+
+  for (auto& [key, agg] : op_agg) {
+    agg.p_sdc = agg.hits ? static_cast<double>(agg.sdc) /
+                               static_cast<double>(agg.hits)
+                         : 0.0;
+    const auto ci = stats::wilson_interval(agg.sdc, agg.hits);
+    agg.sdc_lo = ci.lo;
+    agg.sdc_hi = ci.hi;
+    r.opcodes.push_back(agg);
+  }
+  std::sort(r.opcodes.begin(), r.opcodes.end(),
+            [](const OpcodeRow& a, const OpcodeRow& b) {
+              if (a.hits != b.hits) return a.hits > b.hits;
+              if (a.live != b.live) return a.live > b.live;
+              return static_cast<int>(a.op) < static_cast<int>(b.op);
+            });
+
+  for (std::size_t i = 0; i < due_totals.size(); ++i) {
+    if (due_totals[i] == 0) continue;
+    DueRow d;
+    d.reason = static_cast<vocab::DueReason>(i);
+    d.group = vocab::due_group(d.reason);
+    d.count = due_totals[i];
+    r.dues.push_back(d);
+  }
+  std::sort(r.dues.begin(), r.dues.end(), [](const DueRow& a, const DueRow& b) {
+    if (a.group != b.group)
+      return static_cast<int>(a.group) < static_cast<int>(b.group);
+    return static_cast<int>(a.reason) < static_cast<int>(b.reason);
+  });
+
+  return r;
+}
+
+std::string render_text(const Report& r) {
+  std::string out;
+  out += "attribution report: " + r.workload + "\n";
+  out += "golden cycles: " + std::to_string(r.golden_cycles) +
+         "  injected: " + std::to_string(r.injected) +
+         "  attributed: " + std::to_string(r.attributed) +
+         "  idle-site: " + std::to_string(r.unattributed) + "\n\n";
+
+  TextTable instr({"Module", "PC", "Op", "Hits", "Masked", "SDC", "DUE",
+                   "P(SDC|hit)", "CI95", "Residency", "Score"});
+  for (const auto& row : r.rows) {
+    instr.add_row({row.module, row.live ? std::to_string(row.pc) : "-",
+                   row.live ? std::string(isa::mnemonic(row.op)) : "(idle)",
+                   std::to_string(row.hits), std::to_string(row.masked),
+                   std::to_string(row.sdc), std::to_string(row.due),
+                   fmt_prob(row.p_sdc),
+                   "[" + fmt_prob(row.sdc_lo) + "," + fmt_prob(row.sdc_hi) +
+                       "]",
+                   fmt_prob(row.residency), fmt_prob(row.score)});
+  }
+  out += "Per-(module x static instruction) vulnerability\n";
+  out += instr.to_string();
+  out += "\n";
+
+  TextTable ops({"Op", "Hits", "SDC", "DUE", "P(SDC|hit)", "CI95"});
+  for (const auto& o : r.opcodes) {
+    ops.add_row({o.live ? std::string(isa::mnemonic(o.op)) : "(idle)",
+                 std::to_string(o.hits), std::to_string(o.sdc),
+                 std::to_string(o.due), fmt_prob(o.p_sdc),
+                 "[" + fmt_prob(o.sdc_lo) + "," + fmt_prob(o.sdc_hi) + "]"});
+  }
+  out += "Per-opcode aggregate\n";
+  out += ops.to_string();
+
+  if (!r.dues.empty()) {
+    out += "\n";
+    TextTable dues({"Group", "Reason", "Count"});
+    for (const auto& d : r.dues) {
+      dues.add_row({std::string(vocab::due_group_token(d.group)),
+                    std::string(vocab::due_reason_token(d.reason)),
+                    std::to_string(d.count)});
+    }
+    out += "DUEs by cause\n";
+    out += dues.to_string();
+  }
+  return out;
+}
+
+std::string render_json(const Report& r) {
+  std::string out = "{";
+  out += "\"workload\":" + json_str(r.workload);
+  out += ",\"golden_cycles\":" + std::to_string(r.golden_cycles);
+  out += ",\"injected\":" + std::to_string(r.injected);
+  out += ",\"attributed\":" + std::to_string(r.attributed);
+  out += ",\"idle_site\":" + std::to_string(r.unattributed);
+  out += ",\"instructions\":[";
+  for (std::size_t i = 0; i < r.rows.size(); ++i) {
+    const auto& row = r.rows[i];
+    if (i) out += ",";
+    out += "{\"module\":" + json_str(row.module);
+    out += ",\"live\":" + std::string(row.live ? "true" : "false");
+    if (row.live) {
+      out += ",\"pc\":" + std::to_string(row.pc);
+      out += ",\"op\":" + json_str(isa::mnemonic(row.op));
+    }
+    out += ",\"hits\":" + std::to_string(row.hits);
+    out += ",\"masked\":" + std::to_string(row.masked);
+    out += ",\"sdc\":" + std::to_string(row.sdc);
+    out += ",\"due\":" + std::to_string(row.due);
+    out += ",\"p_sdc\":" + fmt_prob(row.p_sdc);
+    out += ",\"ci_lo\":" + fmt_prob(row.sdc_lo);
+    out += ",\"ci_hi\":" + fmt_prob(row.sdc_hi);
+    out += ",\"residency\":" + fmt_prob(row.residency);
+    out += ",\"score\":" + fmt_prob(row.score);
+    out += "}";
+  }
+  out += "],\"opcodes\":[";
+  for (std::size_t i = 0; i < r.opcodes.size(); ++i) {
+    const auto& o = r.opcodes[i];
+    if (i) out += ",";
+    out += "{\"op\":" +
+           json_str(o.live ? isa::mnemonic(o.op) : std::string_view("(idle)"));
+    out += ",\"hits\":" + std::to_string(o.hits);
+    out += ",\"sdc\":" + std::to_string(o.sdc);
+    out += ",\"due\":" + std::to_string(o.due);
+    out += ",\"p_sdc\":" + fmt_prob(o.p_sdc);
+    out += ",\"ci_lo\":" + fmt_prob(o.sdc_lo);
+    out += ",\"ci_hi\":" + fmt_prob(o.sdc_hi);
+    out += "}";
+  }
+  out += "],\"dues\":[";
+  for (std::size_t i = 0; i < r.dues.size(); ++i) {
+    const auto& d = r.dues[i];
+    if (i) out += ",";
+    out += "{\"group\":" + json_str(vocab::due_group_token(d.group));
+    out += ",\"reason\":" + json_str(vocab::due_reason_token(d.reason));
+    out += ",\"count\":" + std::to_string(d.count);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace gpufi::attr

@@ -1,0 +1,127 @@
+#pragma once
+
+// Cross-layer root-cause attribution: joins raw flip-flop fault outcomes
+// with the instruction that was live at the fault site (resolved from the
+// golden liveness timeline) and aggregates them into per-(module × static
+// instruction) and per-opcode vulnerability tables — P(SDC|hit) with
+// Wilson intervals, residency-weighted AVF-style scores, and DUEs grouped
+// by cause. Everything here is deterministic: tables are ordered maps and
+// rows carry total orderings, so the rendered report is byte-identical for
+// any acceleration level or job count that produces the same counts.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "rtl/liveness.hpp"
+#include "vocab/outcomes.hpp"
+
+namespace gpufi::attr {
+
+/// Accumulation key: the fault-site identity within one module campaign.
+/// `live == false` collapses every between-instructions fault into a single
+/// "idle" bucket (pc/op are zeroed for it).
+struct SiteKey {
+  bool live = false;
+  std::uint64_t pc = 0;
+  isa::Opcode op = isa::Opcode::NOP;
+
+  auto operator<=>(const SiteKey&) const = default;
+};
+
+/// Makes the accumulation key for a resolved fault site.
+SiteKey site_key(const rtl::FaultSiteContext& site);
+
+/// Outcome tallies for one fault site.
+struct SiteCounts {
+  std::uint64_t hits = 0;  ///< faults injected while this site was live
+  std::uint64_t masked = 0;
+  std::uint64_t sdc_single = 0;
+  std::uint64_t sdc_multi = 0;
+  std::uint64_t due = 0;
+  std::array<std::uint64_t, vocab::kNumDueReasons> due_by_reason{};
+
+  std::uint64_t sdc() const { return sdc_single + sdc_multi; }
+  void merge(const SiteCounts& o);
+};
+
+/// Site → counts for one campaign. std::map keeps shard merges and report
+/// iteration deterministic.
+using SiteTable = std::map<SiteKey, SiteCounts>;
+
+/// Merges `from` into `into` (associative/commutative, used by the
+/// chunk-ordered shard merge).
+void merge_tables(SiteTable& into, const SiteTable& from);
+
+/// One module campaign's attribution input to a report.
+struct CampaignSlice {
+  std::string module;  ///< module token (e.g. "fp32", "sched")
+  SiteTable sites;
+  std::uint64_t injected = 0;
+};
+
+/// One rendered row: a static instruction (or the idle bucket) of one
+/// module campaign.
+struct InstrRow {
+  std::string module;
+  bool live = false;
+  std::uint64_t pc = 0;
+  isa::Opcode op = isa::Opcode::NOP;
+  std::uint64_t hits = 0;
+  std::uint64_t masked = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t due = 0;
+  double p_sdc = 0.0;   ///< P(SDC | fault hit this site)
+  double sdc_lo = 0.0;  ///< Wilson 95% interval on p_sdc
+  double sdc_hi = 0.0;
+  double residency = 0.0;  ///< live cycles at pc / golden run cycles
+  double score = 0.0;      ///< residency-weighted AVF-style score
+};
+
+/// Per-opcode aggregate across modules.
+struct OpcodeRow {
+  isa::Opcode op = isa::Opcode::NOP;
+  bool live = false;  ///< false only for the idle bucket row
+  std::uint64_t hits = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t due = 0;
+  double p_sdc = 0.0;
+  double sdc_lo = 0.0;
+  double sdc_hi = 0.0;
+};
+
+/// DUE tally for one concrete reason, carrying its coarse group.
+struct DueRow {
+  vocab::DueReason reason = vocab::DueReason::None;
+  vocab::DueGroup group = vocab::DueGroup::None;
+  std::uint64_t count = 0;
+};
+
+/// The full attribution report for one workload.
+struct Report {
+  std::string workload;
+  std::uint64_t golden_cycles = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t attributed = 0;    ///< faults that resolved to a live site
+  std::uint64_t unattributed = 0;  ///< faults landing on idle cycles
+  std::vector<InstrRow> rows;      ///< score-desc, ties by (module, pc)
+  std::vector<OpcodeRow> opcodes;  ///< hits-desc, ties by opcode value
+  std::vector<DueRow> dues;        ///< group then reason order, count > 0
+};
+
+/// Builds the report: joins slices with the golden timeline's residency,
+/// computes P(SDC|hit) + Wilson intervals, aggregates opcodes and DUE
+/// causes. Deterministic for identical inputs.
+Report build_report(std::string workload, const rtl::LivenessTimeline& timeline,
+                    const std::vector<CampaignSlice>& slices);
+
+/// ASCII rendering (TextTable) of the instruction, opcode and DUE tables.
+std::string render_text(const Report& r);
+
+/// JSON rendering of the same data (stable key order, fixed formatting).
+std::string render_json(const Report& r);
+
+}  // namespace gpufi::attr

@@ -6,6 +6,7 @@
 //   gpufi build-db <path> [options]       full RTL characterization -> database
 //   gpufi sw <app> <model> [options]      software campaign on an HPC app
 //   gpufi cnn <net> <model> [options]     CNN campaign with criticality split
+//   gpufi report <op> [module|all] ...    cross-layer attribution report
 //   gpufi serve [options]                 campaign daemon on a Unix socket
 //   gpufi submit <rtl|tmxm|sw|cnn> ...    run a campaign through the daemon
 //   gpufi status [--socket PATH]          daemon queue/cache counters
@@ -17,11 +18,15 @@
 // callback every N trials), --trace-out FILE (JSONL span/event trace).
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
+#include <unistd.h>
+
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <thread>
@@ -58,6 +63,8 @@ int usage() {
       "[--db PATH]\n"
       "  gpufi cnn <lenet|yolo> <bitflip|syndrome|tmxm> [--injections N] "
       "[--db PATH] [--models DIR]\n"
+      "  gpufi report <op> [<module>|all] [--range S|M|L] [--faults N] "
+      "[--seed S] [--json] [--out FILE] [--socket PATH]\n"
       "  gpufi serve [--socket PATH] [--workers N] [--queue N] "
       "[--deadline MS]\n"
       "  gpufi submit <rtl|tmxm|sw|cnn> <args as above> [--socket PATH] "
@@ -78,6 +85,15 @@ int usage() {
       "(build-db takes a comma list), --fault-duration N (fault window in\n"
       "cycles; 0 = permanent for non-transient models) and --burst-period N\n"
       "(re-flip period of the burst model).\n"
+      "\n"
+      "gpufi report joins every injection outcome to the instruction live\n"
+      "at the fault site (golden-run liveness timeline) and prints\n"
+      "per-(module x static instruction) and per-opcode vulnerability\n"
+      "tables with 95% Wilson intervals. `all` (the default) bombards all\n"
+      "six modules; --json emits the machine-readable form; --out FILE\n"
+      "writes atomically (tmp + rename); --socket PATH asks a running\n"
+      "daemon instead (single module only; the payload is always JSON and\n"
+      "byte-identical to the offline --json output).\n"
       "\n"
       "observability: --progress-interval N fires the progress callback\n"
       "every N trials (N >= 1; deterministic whatever --jobs), --trace-out\n"
@@ -103,6 +119,30 @@ bool parse_u64_strict(const std::string& s, std::uint64_t& out) {
   if (errno != 0 || end != s.c_str() + s.size()) return false;
   out = v;
   return true;
+}
+
+/// Pre-flight check for output paths (--trace-out, report --out): the
+/// parent directory must exist and be writable, caught at option-parse time
+/// so a doomed long campaign fails before its first trial.
+bool writable_parent(const std::string& path) {
+  auto dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return false;
+  return ::access(dir.c_str(), W_OK) == 0;
+}
+
+/// Writes `content` to `path` atomically (tmp + rename) so readers never
+/// observe a torn report. Throws std::runtime_error on I/O failure.
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc | std::ios::binary);
+    if (!f) throw std::runtime_error("cannot open " + tmp);
+    f.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!f) throw std::runtime_error("failed writing " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
 }
 
 bool parse_int_strict(const std::string& s, int& out) {
@@ -136,6 +176,7 @@ struct Options {
   std::uint64_t burst_period = 8;
   // serve/submit/status options
   std::string socket = serve::kDefaultSocketPath;
+  bool socket_set = false;  ///< --socket given (report: route via daemon)
   unsigned workers = 2;
   std::size_t queue = 64;
   int priority = 0;
@@ -144,6 +185,9 @@ struct Options {
   std::size_t progress_interval = 0;  ///< 0 = adaptive (~2% steps)
   std::string trace_out;              ///< JSONL span/event sink ("" = off)
   bool metrics = false;               ///< status: scrape Prometheus text
+  // report options
+  bool json = false;      ///< report: machine-readable rendering
+  std::string out_path;   ///< report: write here (atomic) instead of stdout
 
   static std::optional<Options> parse(int argc, char** argv, int first) {
     Options o;
@@ -157,6 +201,11 @@ struct Options {
       // Boolean flags take no value and advance by one.
       if (key == "--metrics") {
         o.metrics = true;
+        ++i;
+        continue;
+      }
+      if (key == "--json") {
+        o.json = true;
         ++i;
         continue;
       }
@@ -205,6 +254,14 @@ struct Options {
         o.models_dir = val;
       } else if (key == "--socket") {
         o.socket = val;
+        o.socket_set = true;
+      } else if (key == "--out") {
+        if (!writable_parent(val)) {
+          usage_error("--out parent directory is missing or not writable: " +
+                      val);
+          return std::nullopt;
+        }
+        o.out_path = val;
       } else if (key == "--range") {
         if (!serve::parse_range(val)) {
           usage_error("unknown --range '" + val + "' (expected S|M|L)");
@@ -257,6 +314,12 @@ struct Options {
         }
         o.progress_interval = *iv;
       } else if (key == "--trace-out") {
+        if (!writable_parent(val)) {
+          usage_error(
+              "--trace-out parent directory is missing or not writable: " +
+              val);
+          return std::nullopt;
+        }
         o.trace_out = val;
       } else {
         usage_error("unknown option " + key);
@@ -492,6 +555,100 @@ int cmd_cnn(int argc, char** argv) {
   return 0;
 }
 
+int cmd_report(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto op = serve::parse_opcode(argv[2]);
+  if (!op)
+    return usage_error(std::string("unknown instruction '") + argv[2] + "'");
+  // Optional positional module; "all" (the default) bombards all six.
+  std::string module_arg = "all";
+  int first = 3;
+  if (argc > 3 && argv[3][0] != '-') {
+    module_arg = argv[3];
+    first = 4;
+  }
+  std::optional<rtl::Module> module;
+  if (module_arg != "all") {
+    const auto m = serve::parse_module(module_arg);
+    if (!m)
+      return usage_error("unknown module '" + module_arg +
+                         "' (expected fp32|int|sfu|sfuctl|sched|pipe|all)");
+    module = *m;
+  }
+  const auto o = Options::parse(argc, argv, first);
+  if (!o) return 2;
+  if (o->fault_models.size() != 1)
+    return usage_error("gpufi report expects a single --fault-model");
+  install_trace_sink(*o);
+
+  std::string payload;
+  if (o->socket_set) {
+    // Served path: one module per request (the spec carries exactly one);
+    // the daemon always answers with the JSON rendering.
+    if (!module)
+      return usage_error(
+          "a served report needs a single module, not 'all' (run one "
+          "request per module, or drop --socket for the offline path)");
+    serve::CampaignSpec spec;
+    spec.kind = serve::CampaignKind::Rtl;
+    spec.op = argv[2];
+    spec.module = module_arg;
+    spec.range = o->range;
+    spec.fault_model = o->fault_model;
+    spec.fault_duration = o->fault_duration;
+    spec.burst_period = o->burst_period;
+    spec.faults = o->faults;
+    spec.seed = o->seed;
+    spec.jobs = o->jobs == 0 ? 1 : o->jobs;  // served default: one core
+    spec.accel = o->accel;
+    spec.priority = o->priority;
+    spec.deadline_ms = o->deadline_ms;
+    spec.progress_interval = o->progress_interval;
+    if (const auto err = serve::validate_spec(spec)) return usage_error(*err);
+    std::string error;
+    const auto r = serve::query_report(
+        o->socket, spec,
+        [](const exec::Progress& p) {
+          std::fprintf(stderr, "\r  %zu/%zu trials (%.1f/s, ETA %.0fs)   ",
+                       p.done, p.total, p.per_second, p.eta_seconds);
+          if (p.done == p.total) std::fputc('\n', stderr);
+          std::fflush(stderr);
+        },
+        &error);
+    if (!r) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    payload = *r;
+  } else {
+    core::ReportConfig rc;
+    rc.op = *op;
+    rc.module = module;
+    rc.range = *serve::parse_range(o->range);
+    rc.n_faults = o->faults;
+    rc.seed = o->seed;
+    rc.jobs = o->jobs;
+    rc.acceleration = o->acceleration();
+    rc.fault_model = o->fault_models[0];
+    rc.fault_duration = o->fault_duration;
+    rc.burst_period = o->burst_period;
+    rc.progress = stderr_progress("injections");
+    rc.progress_interval = o->progress_interval;
+    const attr::Report report = core::run_report(rc);
+    payload = o->json ? attr::render_json(report) : attr::render_text(report);
+  }
+
+  if (!o->out_path.empty()) {
+    // Atomic publish: a crashed write never leaves a torn report file.
+    write_file_atomic(o->out_path, payload);
+    std::fprintf(stderr, "wrote %s\n", o->out_path.c_str());
+  } else {
+    std::fwrite(payload.data(), 1, payload.size(), stdout);
+    if (payload.empty() || payload.back() != '\n') std::fputc('\n', stdout);
+  }
+  return 0;
+}
+
 // ---------------------------------------------------------------------------
 // Service commands.
 // ---------------------------------------------------------------------------
@@ -633,6 +790,7 @@ int main(int argc, char** argv) {
     if (cmd == "build-db") return cmd_build_db(argc, argv);
     if (cmd == "sw") return cmd_sw(argc, argv);
     if (cmd == "cnn") return cmd_cnn(argc, argv);
+    if (cmd == "report") return cmd_report(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "submit") return cmd_submit(argc, argv);
     if (cmd == "status" || cmd == "stats") return cmd_status(argc, argv);

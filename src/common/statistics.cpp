@@ -88,6 +88,20 @@ std::size_t required_samples(double margin, double confidence) {
   return static_cast<std::size_t>(std::ceil(n));
 }
 
+Interval wilson_interval(std::uint64_t successes, std::uint64_t n,
+                         double confidence) {
+  if (n == 0) return {0.0, 1.0};
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(successes) / nn;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = (p + z2 / (2.0 * nn)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
 ShapiroWilk shapiro_wilk(std::span<const double> xs) {
   // Royston (1995) AS R94 approximation.
   const std::size_t n = xs.size();

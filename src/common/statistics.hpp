@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -29,6 +30,19 @@ double proportion_margin_of_error(double p_hat, std::size_t n,
 /// Number of Bernoulli trials needed for a worst-case (p=0.5) margin of error
 /// `e` at confidence `confidence`. E.g. margin 0.01 at 95% -> ~9604.
 std::size_t required_samples(double margin, double confidence = 0.95);
+
+/// A two-sided confidence interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Wilson score interval for a binomial proportion: `successes` out of `n`
+/// trials at confidence `confidence`. Unlike the normal approximation it
+/// stays inside [0,1] and behaves sensibly for the small per-site hit
+/// counts attribution produces. Returns [0,1] for n == 0.
+Interval wilson_interval(std::uint64_t successes, std::uint64_t n,
+                         double confidence = 0.95);
 
 /// Standard normal CDF.
 double normal_cdf(double z);

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "emu/device.hpp"
 #include "isa/isa.hpp"
@@ -19,6 +20,9 @@ class Profiler : public InstrumentHook {
  public:
   void on_count(const RetireInfo& info) override {
     ++counts_[static_cast<std::size_t>(info.instr->op)];
+    const auto pc = static_cast<std::size_t>(info.pc);
+    if (pc_counts_.size() <= pc) pc_counts_.resize(pc + 1);
+    ++pc_counts_[pc];
   }
 
   /// Retired count for one opcode.
@@ -55,10 +59,23 @@ class Profiler : public InstrumentHook {
                         static_cast<double>(t);
   }
 
-  void reset() { counts_.fill(0); }
+  /// Retired thread-instructions at one static instruction (residency
+  /// numerator for software-injection attribution). 0 past the program end.
+  std::uint64_t count_at_pc(std::size_t pc) const {
+    return pc < pc_counts_.size() ? pc_counts_[pc] : 0;
+  }
+
+  /// Per-static-instruction execution counts (indexed by pc).
+  const std::vector<std::uint64_t>& pc_counts() const { return pc_counts_; }
+
+  void reset() {
+    counts_.fill(0);
+    pc_counts_.clear();
+  }
 
  private:
   std::array<std::uint64_t, isa::kNumOpcodes> counts_{};
+  std::vector<std::uint64_t> pc_counts_;
 };
 
 }  // namespace gpufi::emu

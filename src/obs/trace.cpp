@@ -39,15 +39,24 @@ std::uint64_t now_us() noexcept {
 // TraceSink.
 // ---------------------------------------------------------------------------
 
-TraceSink::~TraceSink() = default;
+TraceSink::~TraceSink() {
+  // Atomic publish: close the staging file, then rename it over the target
+  // so readers only ever observe a complete trace (or the previous one).
+  owned_.reset();
+  if (!tmp_path_.empty() && !final_path_.empty())
+    std::rename(tmp_path_.c_str(), final_path_.c_str());
+}
 
 std::shared_ptr<TraceSink> TraceSink::open(const std::string& path) {
-  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  const std::string tmp = path + ".tmp";
+  auto file = std::make_unique<std::ofstream>(tmp, std::ios::trunc);
   if (!*file)
-    throw std::runtime_error("cannot open trace file: " + path);
+    throw std::runtime_error("cannot open trace file: " + tmp);
   auto sink = std::shared_ptr<TraceSink>(new TraceSink);
   sink->out_ = file.get();
   sink->owned_ = std::move(file);
+  sink->tmp_path_ = tmp;
+  sink->final_path_ = path;
   return sink;
 }
 

@@ -33,8 +33,11 @@ class TraceSink {
  public:
   ~TraceSink();
 
-  /// Opens `path` for writing (truncates). Throws std::runtime_error when
-  /// the file cannot be opened.
+  /// Opens `path` for writing (truncates). The sink actually writes to
+  /// `path + ".tmp"` and renames it over `path` on destruction, so a
+  /// crashed or interrupted run never leaves a torn half-written trace at
+  /// the requested path. Throws std::runtime_error when the temporary file
+  /// cannot be opened.
   static std::shared_ptr<TraceSink> open(const std::string& path);
 
   /// Wraps a caller-owned stream (not closed on destruction) — test helper.
@@ -52,6 +55,8 @@ class TraceSink {
   mutable std::mutex mutex_;
   std::ostream* out_ = nullptr;      ///< borrowed (to_stream)
   std::unique_ptr<std::ostream> owned_;  ///< owned (open)
+  std::string tmp_path_;    ///< staging file while the sink is live
+  std::string final_path_;  ///< rename target on destruction
   std::uint64_t lines_ = 0;
 };
 

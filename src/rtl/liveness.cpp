@@ -1,0 +1,111 @@
+#include "rtl/liveness.hpp"
+
+#include <algorithm>
+
+#include "rtl/layouts.hpp"
+
+namespace gpufi::rtl {
+
+std::string_view stage_name(PipeStage s) {
+  switch (s) {
+    case PipeStage::Idle: return "idle";
+    case PipeStage::Fetch: return "fetch";
+    case PipeStage::Guard: return "guard";
+    case PipeStage::Execute: return "execute";
+    case PipeStage::Writeback: return "writeback";
+    case PipeStage::Retire: return "retire";
+  }
+  return "?";
+}
+
+void LivenessTimeline::finalize(std::uint64_t run_cycles) {
+  total_cycles_ = run_cycles;
+  // A trapped run can leave the last interval unclosed (end == start);
+  // extend it to the end of the run so the trapping instruction still
+  // attributes — it *was* the one in flight when the machine died.
+  if (!intervals_.empty() && intervals_.back().end <= intervals_.back().start)
+    intervals_.back().end = std::max(run_cycles, intervals_.back().start + 1);
+}
+
+const LiveInterval* LivenessTimeline::at(std::uint64_t cycle) const {
+  // First interval with start > cycle; its predecessor is the only
+  // candidate (intervals are sorted and non-overlapping).
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), cycle,
+      [](std::uint64_t c, const LiveInterval& iv) { return c < iv.start; });
+  if (it == intervals_.begin()) return nullptr;
+  --it;
+  if (cycle < it->end) return &*it;
+  return nullptr;
+}
+
+std::uint64_t LivenessTimeline::live_cycles_at_pc(std::uint64_t pc) const {
+  std::uint64_t total = 0;
+  for (const auto& iv : intervals_)
+    if (iv.pc == pc && iv.end > iv.start) total += iv.end - iv.start;
+  return total;
+}
+
+namespace {
+
+bool is_scheduler_op(isa::Opcode op) {
+  return op == isa::Opcode::BRA || op == isa::Opcode::EXIT ||
+         op == isa::Opcode::BAR || op == isa::Opcode::NOP;
+}
+
+}  // namespace
+
+bool unit_occupied(Module m, isa::Opcode op) {
+  switch (m) {
+    case Module::Scheduler:
+    case Module::PipelineRegs:
+      // Every instruction is latched by the scheduler and traverses the
+      // pipeline registers, whatever its datapath.
+      return true;
+    case Module::Fp32Fu:
+      return isa::op_class(op) == isa::OpClass::Fp32;
+    case Module::IntFu:
+      return isa::op_class(op) == isa::OpClass::Int32;
+    case Module::Sfu:
+    case Module::SfuCtl:
+      return isa::op_class(op) == isa::OpClass::Special;
+  }
+  return false;
+}
+
+FaultSiteContext resolve_fault_site(const LivenessTimeline& timeline,
+                                    std::uint64_t cycle, Module module) {
+  FaultSiteContext ctx;
+  const LiveInterval* iv = timeline.at(cycle);
+  if (!iv) return ctx;  // idle / barrier-release cycle
+  ctx.live = true;
+  ctx.dyn_index = iv->dyn_index;
+  ctx.pc = iv->pc;
+  ctx.cta = iv->cta;
+  ctx.warp = iv->warp;
+  ctx.op = iv->op;
+  ctx.unit_busy = unit_occupied(module, iv->op);
+  // Derive the pipeline phase from the cycle's offset in the interval.
+  // The interpreter's micro-sequence per instruction is: fetch tick,
+  // guard tick, then either the scheduler resolve tick (control ops) or
+  // the data pipeline (issue/operand/EX beats, kBeats writeback ticks,
+  // one retire/PC-advance tick).
+  const std::uint64_t offset = cycle - iv->start;
+  const std::uint64_t len = iv->end - iv->start;
+  if (offset == 0) {
+    ctx.stage = PipeStage::Fetch;
+  } else if (offset == 1) {
+    ctx.stage = PipeStage::Guard;
+  } else if (is_scheduler_op(iv->op)) {
+    ctx.stage = PipeStage::Execute;  // the single resolve_control tick
+  } else if (offset == len - 1) {
+    ctx.stage = PipeStage::Retire;
+  } else if (len > kBeats + 1 && offset >= len - 1 - kBeats) {
+    ctx.stage = PipeStage::Writeback;
+  } else {
+    ctx.stage = PipeStage::Execute;
+  }
+  return ctx;
+}
+
+}  // namespace gpufi::rtl

@@ -1,0 +1,126 @@
+#pragma once
+
+// Golden-run liveness timeline: which dynamic instruction occupies the
+// machine at every cycle of a fault-free run. The Sm interpreter is
+// blocking in-order with one warp instruction in flight, so the timeline is
+// a sorted vector of non-overlapping [start, end) intervals — one per
+// dynamic instruction — and attribution of a fault cycle to the live
+// instruction is a binary search. Recorded once per campaign alongside the
+// golden output (and, for accelerated modes, the checkpoint ladder), so
+// resolving a FaultSiteContext costs nothing per faulty trial.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "rtl/state.hpp"
+
+namespace gpufi::rtl {
+
+/// One dynamic instruction's occupancy of the machine: the cycle-counter
+/// values [start, end) consumed between its fetch and its retirement
+/// (including scoreboard stalls and SFU arbitration rounds). Idle and
+/// barrier-release cycles belong to no interval.
+struct LiveInterval {
+  std::uint64_t start = 0;  ///< first cycle-counter value occupied
+  std::uint64_t end = 0;    ///< one past the last occupied counter value
+  std::uint64_t dyn_index = 0;  ///< dynamic-instruction index (fetch order)
+  std::uint64_t pc = 0;         ///< static instruction index
+  std::uint32_t cta = 0;
+  std::uint32_t warp = 0;
+  isa::Opcode op = isa::Opcode::NOP;
+};
+
+/// Coarse pipeline phase a fault cycle lands in, derived from the cycle's
+/// offset within the live interval (the interpreter's micro-sequence is
+/// fixed: fetch tick, guard tick, then execute ticks, with the last beats
+/// draining into writeback and a final retire/PC-advance tick).
+enum class PipeStage : std::uint8_t {
+  Idle,       ///< no instruction in flight (fault fell between instructions)
+  Fetch,      ///< instruction-buffer fill
+  Guard,      ///< predicate-guard evaluation
+  Execute,    ///< issue/operand-fetch/FU cycles (incl. stalls, SFU rounds)
+  Writeback,  ///< result-collector drain into the register file
+  Retire,     ///< PC advance / stack merge
+};
+
+/// Stable token for a PipeStage ("idle", "fetch", ...).
+std::string_view stage_name(PipeStage s);
+
+/// Everything attribution knows about the machine state at a fault cycle,
+/// joined from the golden liveness timeline. Deterministic per (workload,
+/// cycle, module) — independent of acceleration level and job count.
+struct FaultSiteContext {
+  bool live = false;  ///< an instruction was in flight at the fault cycle
+  std::uint64_t dyn_index = 0;
+  std::uint64_t pc = 0;
+  std::uint32_t cta = 0;
+  std::uint32_t warp = 0;
+  isa::Opcode op = isa::Opcode::NOP;
+  PipeStage stage = PipeStage::Idle;
+  /// True when the faulted module was actually occupied by the live
+  /// instruction (a Fp32Fu fault during an IADD hits at-rest state).
+  bool unit_busy = false;
+};
+
+/// The per-run liveness recording. Intervals are appended in fetch order
+/// (therefore sorted by start and non-overlapping) by the interpreter.
+class LivenessTimeline {
+ public:
+  void clear() {
+    intervals_.clear();
+    total_cycles_ = 0;
+  }
+
+  /// Opens an interval at `cycle` (called at instruction fetch).
+  void begin(std::uint64_t cycle, std::uint32_t cta, std::uint32_t warp,
+             std::uint64_t pc, isa::Opcode op) {
+    LiveInterval iv;
+    iv.start = cycle;
+    iv.end = cycle;  // closed on retire; at()/finalize drop empty intervals
+    iv.dyn_index = intervals_.size();
+    iv.pc = pc;
+    iv.cta = cta;
+    iv.warp = warp;
+    iv.op = op;
+    intervals_.push_back(iv);
+  }
+
+  /// Closes the most recently opened interval at `cycle` (exclusive).
+  void close(std::uint64_t cycle) {
+    if (!intervals_.empty()) intervals_.back().end = cycle;
+  }
+
+  /// Stamps the run length and drops a trailing unclosed interval (only
+  /// possible when the recorded run trapped mid-instruction).
+  void finalize(std::uint64_t run_cycles);
+
+  /// The interval covering `cycle`, or nullptr for an idle/barrier cycle.
+  const LiveInterval* at(std::uint64_t cycle) const;
+
+  const std::vector<LiveInterval>& intervals() const { return intervals_; }
+  std::uint64_t total_cycles() const { return total_cycles_; }
+
+  /// Cycles the static instruction at `pc` occupied the machine over the
+  /// whole run (residency numerator for AVF-style weighting).
+  std::uint64_t live_cycles_at_pc(std::uint64_t pc) const;
+
+ private:
+  std::vector<LiveInterval> intervals_;
+  std::uint64_t total_cycles_ = 0;
+};
+
+/// True when `op`'s datapath occupies module `m` (the functional-unit
+/// mapping of the paper's Table I: FP32 ops in the FP32 FU, INT32 ops in
+/// the INT FU, transcendental ops in the SFU + its controller; every
+/// instruction traverses the scheduler and the pipeline registers).
+bool unit_occupied(Module m, isa::Opcode op);
+
+/// Joins the golden timeline with a fault cycle: identifies the live
+/// dynamic instruction (if any), its pipeline phase at that cycle, and
+/// whether the faulted module was busy with it.
+FaultSiteContext resolve_fault_site(const LivenessTimeline& timeline,
+                                    std::uint64_t cycle, Module module);
+
+}  // namespace gpufi::rtl

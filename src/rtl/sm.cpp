@@ -41,6 +41,9 @@ struct RunCtx {
   std::uint64_t check_interval = 16;
   // Fast-forward: re-enter the scheduler loop at this restored checkpoint.
   const SmCheckpoint* resume_from = nullptr;
+  // Liveness recording: per-dynamic-instruction occupancy intervals for
+  // golden-run attribution. Never set together with a fault.
+  LivenessTimeline* liveness = nullptr;
 };
 
 const RunCtx kPlainRun;
@@ -403,6 +406,9 @@ class Machine {
     sched_.set(S.fetch_pc, pc);
     sched_.set(S.cur_warp, w);
     const Instr& instr = prog_.code[pc];
+    if (ctx_.liveness)
+      ctx_.liveness->begin(cycle_, static_cast<std::uint32_t>(cta_), w, pc,
+                           instr.op);
     sched_.set(S.ib_op, static_cast<std::uint64_t>(instr.op));
     sched_.set(S.ib_dst, instr.dst);
     sched_.set(S.ib_akind, static_cast<std::uint64_t>(instr.a.kind));
@@ -449,6 +455,7 @@ class Machine {
       run_data_instruction(w, op);
       advance_pc(w);
     }
+    if (ctx_.liveness) ctx_.liveness->close(cycle_);
   }
 
   /// Sets the stack-top PC to `next`, then merges completed divergence
@@ -1428,6 +1435,26 @@ RunResult Sm::execute(const isa::Program& prog, const GridDims& dims,
 RunResult Sm::run(const isa::Program& prog, const GridDims& dims,
                   std::uint64_t max_cycles) {
   return execute(prog, dims, std::nullopt, max_cycles);
+}
+
+RunResult Sm::run(const isa::Program& prog, const GridDims& dims,
+                  LivenessTimeline& liveness, std::uint64_t max_cycles) {
+  sched_.reset();
+  intfu_.reset();
+  fpfu_.reset();
+  sfu_.reset();
+  sfuctl_.reset();
+  pipe_.reset();
+  shared_.resize_clear(prog.shared_words);
+  liveness.clear();
+  RunCtx ctx;
+  ctx.liveness = &liveness;
+  const std::uint64_t bound = max_cycles != 0 ? max_cycles : kUnlimitedCycles;
+  Machine m(sched_, intfu_, fpfu_, sfu_, sfuctl_, pipe_, global_, regs_,
+            preds_, shared_, prog, dims, std::nullopt, bound, ctx);
+  RunResult r = m.run();
+  liveness.finalize(r.cycles);
+  return r;
 }
 
 RunResult Sm::run_with_fault(const isa::Program& prog, const GridDims& dims,

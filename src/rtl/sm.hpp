@@ -11,6 +11,7 @@
 
 #include "isa/isa.hpp"
 #include "rtl/layouts.hpp"
+#include "rtl/liveness.hpp"
 #include "rtl/state.hpp"
 
 namespace gpufi::rtl {
@@ -264,6 +265,13 @@ class Sm {
   /// (2^62). Returns cycle count for fault-window sizing.
   RunResult run(const isa::Program& prog, const GridDims& dims,
                 std::uint64_t max_cycles = 0);
+
+  /// Runs a kernel with no fault while recording the per-cycle liveness
+  /// timeline (which dynamic instruction occupies the machine at each
+  /// cycle), for fault-site attribution against the same seeds/cycles a
+  /// campaign draws. The timeline is cleared, filled, and finalized.
+  RunResult run(const isa::Program& prog, const GridDims& dims,
+                LivenessTimeline& liveness, std::uint64_t max_cycles = 0);
 
   /// Runs a kernel with one transient fault injected.
   RunResult run_with_fault(const isa::Program& prog, const GridDims& dims,

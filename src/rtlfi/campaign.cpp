@@ -15,9 +15,9 @@ namespace gpufi::rtlfi {
 
 std::string_view outcome_name(Outcome o) {
   switch (o) {
-    case Outcome::Masked: return "Masked";
-    case Outcome::Sdc: return "SDC";
-    case Outcome::Due: return "DUE";
+    case Outcome::Masked: return vocab::kOutcomeMasked;
+    case Outcome::Sdc: return vocab::kOutcomeSdc;
+    case Outcome::Due: return vocab::kOutcomeDue;
   }
   return "?";
 }
@@ -64,6 +64,7 @@ void CampaignResult::merge(const CampaignResult& other) {
   converged_early += other.converged_early;
   golden_cycles = std::max(golden_cycles, other.golden_cycles);
   records.insert(records.end(), other.records.begin(), other.records.end());
+  attr::merge_tables(attribution, other.attribution);
 }
 
 Outcome classify(rtl::RunStatus status,
@@ -120,7 +121,8 @@ void run_one_fault(rtl::Sm& sm, const Workload& w, const CampaignConfig& cfg,
                    const rtl::StateLayout& layout,
                    const std::vector<std::uint32_t>& golden_out,
                    std::uint64_t golden_cycles, std::uint64_t watchdog,
-                   const rtl::GoldenTrace* trace, bool early_exit,
+                   const rtl::GoldenTrace* trace,
+                   const rtl::LivenessTimeline* liveness, bool early_exit,
                    std::uint64_t check_interval, Rng& rng,
                    CampaignResult& shard) {
   rtl::FaultSpec fault;
@@ -135,6 +137,18 @@ void run_one_fault(rtl::Sm& sm, const Workload& w, const CampaignConfig& cfg,
   fault.period = cfg.burst_period;
 
   const bool obs_on = obs::enabled();
+
+  // Join the fault site against the golden liveness timeline before the
+  // run: the context is a pure function of (workload, cycle, module), so
+  // it is identical for every acceleration level and job count.
+  rtl::FaultSiteContext site;
+  if (liveness)
+    site = rtl::resolve_fault_site(*liveness, fault.cycle, cfg.module);
+  if (obs_on)
+    obs::count(site.live ? "gpufi_attr_resolved_total"
+                         : "gpufi_attr_unresolved_total");
+  auto& site_counts = shard.attribution[attr::site_key(site)];
+  ++site_counts.hits;
   rtl::RunResult run;
   if (trace) {
     if (obs_on) obs::count("gpufi_rtl_checkpoint_restores_total");
@@ -162,6 +176,7 @@ void run_one_fault(rtl::Sm& sm, const Workload& w, const CampaignConfig& cfg,
     ++shard.injected;
     ++shard.masked;
     ++shard.converged_early;
+    ++site_counts.masked;
     if (obs_on) {
       obs::count("gpufi_rtl_converged_early_total");
       obs::count(outcome_metric(cfg, Outcome::Masked));
@@ -177,9 +192,11 @@ void run_one_fault(rtl::Sm& sm, const Workload& w, const CampaignConfig& cfg,
   switch (outcome) {
     case Outcome::Masked:
       ++shard.masked;
+      ++site_counts.masked;
       break;
     case Outcome::Due:
       ++shard.due;
+      ++site_counts.due;
       break;
     case Outcome::Sdc:
       break;  // counted below once multiplicity is known
@@ -193,8 +210,12 @@ void run_one_fault(rtl::Sm& sm, const Workload& w, const CampaignConfig& cfg,
   rec.field = finfo.name;
   rec.role = finfo.role;
   rec.outcome = outcome;
+  rec.site = site;
   if (outcome == Outcome::Due) {
     rec.due_reason = run.trap_reason;
+    rec.due_reason_code = vocab::classify_due_reason(run.trap_reason);
+    ++site_counts
+          .due_by_reason[static_cast<std::size_t>(rec.due_reason_code)];
     if (cfg.keep_all_records) shard.records.push_back(std::move(rec));
     return;
   }
@@ -221,10 +242,13 @@ void run_one_fault(rtl::Sm& sm, const Workload& w, const CampaignConfig& cfg,
       rec.diffs.push_back(d);
     }
   }
-  if (rec.corrupted_threads > 1)
+  if (rec.corrupted_threads > 1) {
     ++shard.sdc_multi;
-  else
+    ++site_counts.sdc_multi;
+  } else {
     ++shard.sdc_single;
+    ++site_counts.sdc_single;
+  }
   shard.records.push_back(std::move(rec));
 }
 
@@ -237,16 +261,21 @@ GoldenContext prepare_golden(const Workload& w, const CampaignConfig& cfg) {
   obs::count("gpufi_rtl_golden_builds_total");
   GoldenContext golden;
 
-  // Golden run: reference output and fault-window size.
+  // Golden run: reference output, fault-window size and the liveness
+  // timeline attribution joins against. Recorded here — on the plain run
+  // every acceleration level performs — so the timeline (and with it every
+  // FaultSiteContext) is acceleration-invariant by construction.
   {
     rtl::Sm sm;
     w.setup(sm);
-    const auto golden_run = sm.run(w.program, w.dims);
+    auto liveness = std::make_shared<rtl::LivenessTimeline>();
+    const auto golden_run = sm.run(w.program, w.dims, *liveness);
     if (golden_run.status != rtl::RunStatus::Ok)
       throw std::runtime_error("golden RTL run failed (" +
                                golden_run.trap_reason + ") for " + w.name);
     golden.golden_cycles = golden_run.cycles;
     golden.golden_out = read_out(sm, w.out_base, w.out_words);
+    golden.liveness = std::move(liveness);
   }
 
   // Accelerated modes re-run the golden workload once more with tracing on,
@@ -307,8 +336,9 @@ CampaignResult run_campaign(const Workload& w, const CampaignConfig& cfg,
       [&](std::unique_ptr<rtl::Sm>& sm, std::size_t, Rng& rng,
           CampaignResult& shard) {
         run_one_fault(*sm, w, cfg, layout, golden.golden_out,
-                      golden.golden_cycles, watchdog, trace, early_exit,
-                      check_interval, rng, shard);
+                      golden.golden_cycles, watchdog, trace,
+                      golden.liveness.get(), early_exit, check_interval, rng,
+                      shard);
       });
   result.golden_cycles = golden.golden_cycles;
   return result;

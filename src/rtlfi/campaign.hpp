@@ -6,10 +6,13 @@
 #include <string>
 #include <vector>
 
+#include "attr/attr.hpp"
 #include "common/rng.hpp"
 #include "exec/engine.hpp"
 #include "isa/isa.hpp"
+#include "rtl/liveness.hpp"
 #include "rtl/sm.hpp"
+#include "vocab/outcomes.hpp"
 
 namespace gpufi::rtlfi {
 
@@ -40,6 +43,12 @@ struct InjectionRecord {
   rtl::FieldRole role = rtl::FieldRole::Data;
   Outcome outcome = Outcome::Masked;
   std::string due_reason;       ///< trap reason / "watchdog expired"
+  /// DUE cause as an enum (classified from due_reason at record time) so
+  /// reports group by cause without string matching.
+  vocab::DueReason due_reason_code = vocab::DueReason::None;
+  /// The instruction live at fault.cycle, joined deterministically from the
+  /// golden liveness timeline (identical across accel levels / job counts).
+  rtl::FaultSiteContext site;
   unsigned corrupted_elements = 0;
   unsigned corrupted_threads = 0;  ///< distinct threads with a wrong output
   std::vector<ElementDiff> diffs;  ///< capped at kMaxDiffsKept entries
@@ -138,6 +147,10 @@ struct GoldenContext {
   /// Checkpoint ladder + digest timeline; null when prepared with
   /// Acceleration::None.
   std::shared_ptr<const rtl::GoldenTrace> trace;
+  /// Per-cycle instruction liveness of the golden run, recorded during the
+  /// plain (untraced) golden execution so it is identical for every
+  /// acceleration level. Fault-site attribution joins against this.
+  std::shared_ptr<const rtl::LivenessTimeline> liveness;
 };
 
 /// Runs the golden (and, for accelerated modes, traced-golden) executions of
@@ -161,6 +174,11 @@ struct CampaignResult {
 
   /// Detailed records (always kept for SDCs).
   std::vector<InjectionRecord> records;
+
+  /// Per-fault-site outcome tallies (every trial lands in exactly one
+  /// site bucket, including the idle bucket for between-instruction
+  /// faults). Feeds `gpufi report`.
+  attr::SiteTable attribution;
 
   double avf_sdc() const {
     return injected == 0

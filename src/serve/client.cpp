@@ -120,4 +120,42 @@ std::optional<std::string> query_metrics(const std::string& socket_path,
   return std::move(f.payload);
 }
 
+std::optional<std::string> query_report(
+    const std::string& socket_path, const CampaignSpec& spec,
+    const std::function<void(const exec::Progress&)>& on_progress,
+    std::string* error) {
+  const auto fail = [&](std::string msg) -> std::optional<std::string> {
+    if (error) *error = std::move(msg);
+    return std::nullopt;
+  };
+  const int fd = connect_socket(socket_path);
+  if (fd < 0)
+    return fail("connect(" + socket_path + "): " + std::strerror(errno));
+  if (!write_frame(fd, {FrameType::ReportRequest, encode_spec(spec)})) {
+    ::close(fd);
+    return fail("failed to send the report request");
+  }
+  for (;;) {
+    Frame f;
+    const ReadStatus st = read_frame(fd, f);
+    if (st != ReadStatus::Ok) {
+      ::close(fd);
+      return fail(st == ReadStatus::Eof
+                      ? "server closed the connection without a report"
+                      : "transport error while waiting for the report");
+    }
+    if (f.type == FrameType::Progress) {
+      if (on_progress) {
+        if (const auto p = decode_progress(f.payload)) on_progress(*p);
+      }
+      continue;
+    }
+    ::close(fd);
+    if (f.type == FrameType::Report) return std::move(f.payload);
+    return fail(f.type == FrameType::Error
+                    ? std::move(f.payload)
+                    : "unexpected frame type from server");
+  }
+}
+
 }  // namespace gpufi::serve

@@ -42,4 +42,13 @@ std::optional<ServerStats> query_stats(const std::string& socket_path,
 std::optional<std::string> query_metrics(const std::string& socket_path,
                                          std::string* error = nullptr);
 
+/// Sends a ReportRequest (spec kind must be rtl) and blocks until the
+/// server answers with a Report or Error frame, invoking `on_progress`,
+/// when given, per Progress frame in between. Returns the report JSON, or
+/// nullopt filling `error`.
+std::optional<std::string> query_report(
+    const std::string& socket_path, const CampaignSpec& spec,
+    const std::function<void(const exec::Progress&)>& on_progress = {},
+    std::string* error = nullptr);
+
 }  // namespace gpufi::serve

@@ -112,7 +112,7 @@ bool for_each_kv(std::string_view payload, std::string* error,
 
 bool frame_type_valid(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::Submit) &&
-         t <= static_cast<std::uint8_t>(FrameType::Metrics);
+         t <= static_cast<std::uint8_t>(FrameType::Report);
 }
 
 std::string encode_frame(const Frame& f) {
@@ -409,6 +409,10 @@ std::string serialize_campaign_result(const CampaignSpec& spec,
   put_kv(out, "due", r.due);
   put_kv(out, "golden_cycles", r.golden_cycles);
   put_kv(out, "converged_early", r.converged_early);
+  // Record-format version: v2 adds the per-record fault-site line and the
+  // per-site attribution table (v1 payloads had neither line and no
+  // record_version key).
+  put_kv(out, "record_version", std::uint64_t{2});
   put_kv(out, "records", r.records.size());
   for (const auto& rec : r.records) {
     std::string line;
@@ -434,6 +438,28 @@ std::string serialize_campaign_result(const CampaignSpec& spec,
       line += rec.due_reason;
     }
     put_kv(out, "record", line);
+    // v2: the fault-site context joined from the golden liveness timeline.
+    {
+      std::string sl;
+      sl += rec.site.live ? "live" : "idle";
+      sl += ' ';
+      sl += std::to_string(rec.site.dyn_index);
+      sl += ' ';
+      sl += std::to_string(rec.site.cta);
+      sl += ' ';
+      sl += std::to_string(rec.site.warp);
+      sl += ' ';
+      sl += std::to_string(rec.site.pc);
+      sl += ' ';
+      sl += rec.site.live ? isa::mnemonic(rec.site.op) : std::string_view("-");
+      sl += ' ';
+      sl += rtl::stage_name(rec.site.stage);
+      sl += ' ';
+      sl += rec.site.unit_busy ? '1' : '0';
+      sl += ' ';
+      sl += vocab::due_reason_token(rec.due_reason_code);
+      put_kv(out, "site", sl);
+    }
     for (const auto& d : rec.diffs) {
       std::string dl;
       dl += std::to_string(d.index);
@@ -447,6 +473,36 @@ std::string serialize_campaign_result(const CampaignSpec& spec,
       dl += std::to_string(d.bits_flipped);
       put_kv(out, "diff", dl);
     }
+  }
+
+  // v2: the per-site attribution table (every trial lands in exactly one
+  // bucket; the hits over all lines sum to `injected`).
+  put_kv(out, "attr_sites", r.attribution.size());
+  for (const auto& [key, counts] : r.attribution) {
+    std::string al;
+    al += key.live ? "live" : "idle";
+    al += ' ';
+    al += std::to_string(key.pc);
+    al += ' ';
+    al += key.live ? isa::mnemonic(key.op) : std::string_view("-");
+    al += ' ';
+    al += std::to_string(counts.hits);
+    al += ' ';
+    al += std::to_string(counts.masked);
+    al += ' ';
+    al += std::to_string(counts.sdc_single);
+    al += ' ';
+    al += std::to_string(counts.sdc_multi);
+    al += ' ';
+    al += std::to_string(counts.due);
+    for (std::size_t i = 0; i < counts.due_by_reason.size(); ++i) {
+      if (counts.due_by_reason[i] == 0) continue;
+      al += ' ';
+      al += vocab::due_reason_token(static_cast<vocab::DueReason>(i));
+      al += ':';
+      al += std::to_string(counts.due_by_reason[i]);
+    }
+    put_kv(out, "attr", al);
   }
 
   // The campaign's distilled syndrome-database bytes: the artifact the

@@ -58,6 +58,13 @@ enum class FrameType : std::uint8_t {
   /// server -> client: Prometheus text exposition of the daemon's metric
   /// registry (gpufi_* counters/gauges/histograms).
   Metrics = 8,
+  /// client -> server: attribution-report request. Payload is a campaign
+  /// spec (kind must be rtl); the job runs the campaign and answers with
+  /// Progress frames followed by one Report (or Error) frame.
+  ReportRequest = 9,
+  /// server -> client: the attribution report JSON (attr::render_json),
+  /// byte-identical to the offline `gpufi report --json` of the same spec.
+  Report = 10,
 };
 
 /// True for types defined above (wire bytes outside the enum are rejected).

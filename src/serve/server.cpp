@@ -152,6 +152,40 @@ std::string run_spec_offline(const CampaignSpec& spec) {
   return run_spec(spec, fresh, {}, nullptr);
 }
 
+std::string run_report_spec(const CampaignSpec& spec,
+                            const exec::ProgressFn& progress,
+                            const exec::CancelToken* cancel) {
+  if (spec.kind != CampaignKind::Rtl)
+    throw std::invalid_argument(
+        "attribution reports require an rtl campaign spec");
+  if (const auto err = validate_spec(spec))
+    throw std::invalid_argument(*err);
+  obs::Span span("serve.run_report");
+  span.set("op", spec.op);
+
+  core::ReportConfig rc;
+  rc.op = *parse_opcode(spec.op);
+  rc.module = *parse_module(spec.module);
+  rc.range = *parse_range(spec.range);
+  rc.n_faults = spec.faults;
+  rc.seed = spec.seed;
+  rc.jobs = spec.jobs;
+  rc.acceleration = *parse_acceleration(spec.accel);
+  rc.fault_model = *parse_fault_model(spec.fault_model);
+  rc.fault_duration = spec.fault_duration;
+  rc.burst_period = spec.burst_period;
+  rc.progress = progress;
+  rc.progress_interval = spec.progress_interval;
+  rc.cancel = cancel;
+  const attr::Report report = core::run_report(rc);
+  throw_if_stopped(cancel);
+  return attr::render_json(report);
+}
+
+std::string run_report_offline(const CampaignSpec& spec) {
+  return run_report_spec(spec, {}, nullptr);
+}
+
 // ---------------------------------------------------------------------------
 // Stats payload.
 // ---------------------------------------------------------------------------
@@ -331,9 +365,10 @@ void Server::Impl::handle_connection(int fd) {
     return;
   }
 
-  if (req.type != FrameType::Submit) {
+  if (req.type != FrameType::Submit && req.type != FrameType::ReportRequest) {
     obs::count("gpufi_serve_bad_requests_total");
-    write_frame(fd, {FrameType::Error, "expected a Submit or Status frame"});
+    write_frame(fd, {FrameType::Error,
+                     "expected a Submit, ReportRequest, or Status frame"});
     ::close(fd);
     return;
   }
@@ -352,6 +387,7 @@ void Server::Impl::handle_connection(int fd) {
   job.id = next_id.fetch_add(1);
   job.spec = *spec;
   job.fd = fd;
+  job.report = req.type == FrameType::ReportRequest;
   job.cancel = std::make_shared<exec::CancelToken>();
   const std::uint64_t deadline_ms =
       spec->deadline_ms != 0 ? spec->deadline_ms : cfg.default_deadline_ms;
@@ -414,8 +450,11 @@ void Server::Impl::handle_job(Job job) {
   try {
     throw_if_stopped(token.get());
     const std::string payload =
-        run_spec(job.spec, caches, progress, token.get());
-    if (write_frame(fd, {FrameType::Result, payload})) {
+        job.report ? run_report_spec(job.spec, progress, token.get())
+                   : run_spec(job.spec, caches, progress, token.get());
+    const FrameType reply =
+        job.report ? FrameType::Report : FrameType::Result;
+    if (write_frame(fd, {reply, payload})) {
       ++completed;
       obs::count("gpufi_serve_jobs_completed_total");
       log("job %llu done", static_cast<unsigned long long>(job.id));

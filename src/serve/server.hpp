@@ -65,6 +65,17 @@ std::string run_spec(const CampaignSpec& spec, Caches& caches,
 /// served payload against.
 std::string run_spec_offline(const CampaignSpec& spec);
 
+/// Executes one attribution-report spec (kind must be rtl) on the calling
+/// thread and returns the report JSON (attr::render_json) — the Report
+/// frame payload, byte-identical to the offline `gpufi report --json` of
+/// the same spec.
+std::string run_report_spec(const CampaignSpec& spec,
+                            const exec::ProgressFn& progress,
+                            const exec::CancelToken* cancel);
+
+/// Offline reference for the Report byte-identity contract.
+std::string run_report_offline(const CampaignSpec& spec);
+
 class Server {
  public:
   explicit Server(ServerConfig cfg);

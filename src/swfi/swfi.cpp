@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/statistics.hpp"
+#include "emu/profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rtlfi/microbench.hpp"
@@ -82,6 +83,7 @@ bool InjectHook::take_shot(const emu::RetireInfo& info) {
   hits_ = 1;
   hit_op_ = op;
   hit_pc_ = info.pc;
+  hit_dyn_index_ = info.dyn_index;
   hit_cta_ = info.thread.cta;
   hit_warp_ = info.thread.warp;
   return true;
@@ -169,6 +171,16 @@ void Result::merge(const Result& other) {
   due += other.due;
   candidate_instructions =
       std::max(candidate_instructions, other.candidate_instructions);
+  for (const auto& [key, counts] : other.sites) {
+    auto& sc = sites[key];
+    sc.hits += counts.hits;
+    sc.masked += counts.masked;
+    sc.sdc += counts.sdc;
+    sc.due += counts.due;
+  }
+  // Golden profile counts describe the same app; keep the longer vector.
+  if (other.pc_exec_counts.size() > pc_exec_counts.size())
+    pc_exec_counts = other.pc_exec_counts;
 }
 
 Result run_sw_campaign(const App& app, const Config& cfg) {
@@ -177,17 +189,30 @@ Result run_sw_campaign(const App& app, const Config& cfg) {
   span.set("model", fault_model_name(cfg.model));
   span.set("injections", static_cast<std::uint64_t>(cfg.n_injections));
 
-  // Golden pass: profile + reference output.
-  ProfileHook profile;
+  // Golden pass: candidate profile, per-pc execution counts (residency
+  // denominators for attribution) and reference output, in one run.
+  struct GoldenHook : emu::InstrumentHook {
+    ProfileHook profile;
+    emu::Profiler profiler;
+    void on_retire(const emu::RetireInfo& info, std::uint32_t& v) override {
+      profile.on_retire(info, v);
+    }
+    void on_pred_retire(const emu::RetireInfo& info, bool& v) override {
+      profile.on_pred_retire(info, v);
+    }
+    void on_count(const emu::RetireInfo& info) override {
+      profiler.on_count(info);
+    }
+  } golden_hook;
   emu::Device golden(app.device_words);
   {
     obs::Span golden_span("swfi.golden_profile");
     golden_span.set("app", app.name);
-    if (!app.run(golden, &profile))
+    if (!app.run(golden, &golden_hook))
       throw std::runtime_error("golden run failed for " + app.name);
   }
   const auto golden_out = app.read_output(golden);
-  const std::uint64_t candidates = profile.candidates();
+  const std::uint64_t candidates = golden_hook.profile.candidates();
   if (candidates == 0)
     throw std::runtime_error("no injectable instructions in " + app.name);
 
@@ -215,22 +240,30 @@ Result run_sw_campaign(const App& app, const Config& cfg) {
               "gpufi_sw_injections_total", "opcode",
               hook.fired() ? isa::mnemonic(hook.hit_opcode()) : "none"));
         ++shard.injections;
+        auto& site = shard.sites[{hook.fired() ? hook.hit_pc() : -1,
+                                  hook.fired() ? hook.hit_opcode()
+                                               : isa::Opcode::NOP}];
+        ++site.hits;
         std::string_view outcome;
         if (!ok) {
           ++shard.due;
-          outcome = "DUE";
+          ++site.due;
+          outcome = vocab::kOutcomeDue;
         } else if (app.read_output(dev) == golden_out) {
           ++shard.masked;
-          outcome = "Masked";
+          ++site.masked;
+          outcome = vocab::kOutcomeMasked;
         } else {
           ++shard.sdc;
-          outcome = "SDC";
+          ++site.sdc;
+          outcome = vocab::kOutcomeSdc;
         }
         if (obs_on)
           obs::count(
               obs::label("gpufi_sw_outcomes_total", "outcome", outcome));
       });
   result.candidate_instructions = candidates;
+  result.pc_exec_counts = golden_hook.profiler.pc_counts();
   return result;
 }
 

@@ -2,13 +2,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "emu/device.hpp"
 #include "exec/engine.hpp"
 #include "syndrome/syndrome.hpp"
+#include "vocab/outcomes.hpp"
 
 namespace gpufi::swfi {
 
@@ -87,6 +90,11 @@ class InjectHook : public emu::InstrumentHook {
   unsigned corrupted_threads() const { return hits_; }
   /// Opcode of the corrupted instruction (valid once fired).
   isa::Opcode hit_opcode() const { return hit_op_; }
+  /// Static instruction index of the first corruption (valid once fired).
+  std::int32_t hit_pc() const { return hit_pc_; }
+  /// Per-thread dynamic-instruction index of the first corruption (the
+  /// retirement counter value at the shot; valid once fired).
+  std::uint64_t hit_dyn_index() const { return hit_dyn_index_; }
   /// Relative error applied (RelativeError model, FP destinations).
   double applied_rel_error() const { return applied_rel_; }
 
@@ -105,6 +113,7 @@ class InjectHook : public emu::InstrumentHook {
   bool fired_ = false;
   unsigned hits_ = 0;
   isa::Opcode hit_op_ = isa::Opcode::NOP;
+  std::uint64_t hit_dyn_index_ = 0;
   double applied_rel_ = 0.0;
   // Warp-level continuation state: keep corrupting lanes of the same
   // warp-instruction until the warp moves on.
@@ -138,6 +147,20 @@ struct Config {
   const exec::CancelToken* cancel = nullptr;
 };
 
+/// Outcome tallies for one software fault site (a static instruction).
+struct SwSiteCounts {
+  std::uint64_t hits = 0;
+  std::uint64_t masked = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t due = 0;
+};
+
+/// Site → counts for a software campaign, keyed by (static pc, opcode).
+/// The pc -1 bucket collects trials whose target draw landed past the
+/// dynamic stream (e.g. a DUE killed the run before the target retired).
+using SwSiteTable =
+    std::map<std::pair<std::int32_t, isa::Opcode>, SwSiteCounts>;
+
 /// Campaign outcome: the Program Vulnerability Factor data of Fig. 10 /
 /// Table III.
 struct Result {
@@ -146,6 +169,13 @@ struct Result {
   std::size_t sdc = 0;
   std::size_t due = 0;
   std::uint64_t candidate_instructions = 0;
+
+  /// Per-(static pc, opcode) outcome tallies: which instruction each
+  /// injection corrupted and what came of it (software-side attribution).
+  SwSiteTable sites;
+  /// Golden per-static-instruction retirement counts (emu::Profiler),
+  /// indexed by pc — the residency denominator for normalizing `sites`.
+  std::vector<std::uint64_t> pc_exec_counts;
 
   /// SDC PVF: probability that a fault which reached an architecturally
   /// visible state corrupts the application output.

@@ -1,0 +1,138 @@
+#pragma once
+
+// The one outcome vocabulary shared by every layer that names a trial's
+// fate. rtlfi::outcome_name, the software campaign's metric labels and the
+// serve/obs label strings all used to hand-roll "Masked"/"SDC"/"DUE";
+// this header is now the single source of those tokens, plus the DueReason
+// enum that replaces ad-hoc trap-reason string matching in reports.
+//
+// Deliberately header-only with no project includes: swfi and rtlfi sit
+// below the gpufi_vocab library in the link graph (vocab.hpp includes their
+// headers), so the shared tokens must not require linking gpufi_vocab.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gpufi::vocab {
+
+/// Canonical outcome tokens (Avizienis taxonomy as used by the paper).
+inline constexpr std::string_view kOutcomeMasked = "Masked";
+inline constexpr std::string_view kOutcomeSdc = "SDC";
+inline constexpr std::string_view kOutcomeDue = "DUE";
+
+/// Why a trial classified as DUE. Mirrors the trap reasons the RTL model
+/// can raise (rtl/sm.cpp TrapExc sites) plus the watchdog; `OtherTrap`
+/// future-proofs against new trap strings without breaking report grouping.
+enum class DueReason : std::uint8_t {
+  None = 0,  ///< the trial was not a DUE
+  IllegalOpcode,
+  InvalidPc,
+  CorruptSimtStack,
+  CorruptCtaLatch,
+  OutOfBoundsAccess,
+  SimtStackOverflow,
+  BraWithoutTarget,
+  DivergentBraNoReconvergence,
+  NonControlInScheduler,
+  TooManyWarps,
+  InvalidWarpState,
+  InvalidWarpAtWriteback,
+  WatchdogExpired,
+  ProgramTooLarge,
+  OtherTrap,
+};
+
+/// Number of DueReason values (array-table size).
+inline constexpr std::size_t kNumDueReasons =
+    static_cast<std::size_t>(DueReason::OtherTrap) + 1;
+
+/// Stable machine token for a DueReason (report keys, JSON fields).
+inline constexpr std::string_view due_reason_token(DueReason r) {
+  switch (r) {
+    case DueReason::None: return "none";
+    case DueReason::IllegalOpcode: return "illegal-opcode";
+    case DueReason::InvalidPc: return "invalid-pc";
+    case DueReason::CorruptSimtStack: return "corrupt-simt-stack";
+    case DueReason::CorruptCtaLatch: return "corrupt-cta-latch";
+    case DueReason::OutOfBoundsAccess: return "oob-access";
+    case DueReason::SimtStackOverflow: return "simt-stack-overflow";
+    case DueReason::BraWithoutTarget: return "bra-without-target";
+    case DueReason::DivergentBraNoReconvergence: return "divergent-bra";
+    case DueReason::NonControlInScheduler: return "non-control-in-sched";
+    case DueReason::TooManyWarps: return "too-many-warps";
+    case DueReason::InvalidWarpState: return "invalid-warp-state";
+    case DueReason::InvalidWarpAtWriteback: return "invalid-warp-writeback";
+    case DueReason::WatchdogExpired: return "watchdog";
+    case DueReason::ProgramTooLarge: return "program-too-large";
+    case DueReason::OtherTrap: return "other-trap";
+  }
+  return "?";
+}
+
+/// Coarse cause the report groups DUEs by: an architectural trap, an
+/// expired watchdog (hang), or corrupted scheduler/issue state that wedged
+/// the machine into an illegal configuration.
+enum class DueGroup : std::uint8_t { None, Trap, Watchdog, WedgedScheduler };
+
+inline constexpr std::string_view due_group_token(DueGroup g) {
+  switch (g) {
+    case DueGroup::None: return "none";
+    case DueGroup::Trap: return "trap";
+    case DueGroup::Watchdog: return "watchdog";
+    case DueGroup::WedgedScheduler: return "wedged-scheduler";
+  }
+  return "?";
+}
+
+inline constexpr DueGroup due_group(DueReason r) {
+  switch (r) {
+    case DueReason::None:
+      return DueGroup::None;
+    case DueReason::WatchdogExpired:
+      return DueGroup::Watchdog;
+    case DueReason::CorruptSimtStack:
+    case DueReason::CorruptCtaLatch:
+    case DueReason::SimtStackOverflow:
+    case DueReason::NonControlInScheduler:
+    case DueReason::TooManyWarps:
+    case DueReason::InvalidWarpState:
+      return DueGroup::WedgedScheduler;
+    default:
+      return DueGroup::Trap;
+  }
+}
+
+/// Maps an RTL trap-reason string (RunResult::trap_reason) to the enum.
+/// The strings are the exact TrapExc literals of rtl/sm.cpp; anything
+/// unrecognized lands in OtherTrap so a new trap kind cannot crash a report.
+inline DueReason classify_due_reason(std::string_view trap_reason) {
+  struct Entry {
+    std::string_view text;
+    DueReason reason;
+  };
+  static constexpr std::array<Entry, 14> kTable{{
+      {"illegal opcode", DueReason::IllegalOpcode},
+      {"invalid PC", DueReason::InvalidPc},
+      {"corrupt SIMT stack", DueReason::CorruptSimtStack},
+      {"corrupt CTA dimension latch", DueReason::CorruptCtaLatch},
+      {"out-of-bounds memory access", DueReason::OutOfBoundsAccess},
+      {"SIMT stack overflow", DueReason::SimtStackOverflow},
+      {"BRA without target", DueReason::BraWithoutTarget},
+      {"divergent BRA without reconvergence",
+       DueReason::DivergentBraNoReconvergence},
+      {"non-control opcode in scheduler", DueReason::NonControlInScheduler},
+      {"too many warps per CTA", DueReason::TooManyWarps},
+      {"invalid warp state", DueReason::InvalidWarpState},
+      {"invalid warp id at writeback", DueReason::InvalidWarpAtWriteback},
+      {"watchdog expired", DueReason::WatchdogExpired},
+      {"program too large for 13-bit PC", DueReason::ProgramTooLarge},
+  }};
+  if (trap_reason.empty()) return DueReason::None;
+  for (const auto& e : kTable)
+    if (e.text == trap_reason) return e.reason;
+  return DueReason::OtherTrap;
+}
+
+}  // namespace gpufi::vocab

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "attr/attr.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rtlfi/campaign.hpp"
@@ -92,6 +93,18 @@ void expect_identical(const Case& c, const CampaignResult& base,
     EXPECT_EQ(a.field, b.field);
     EXPECT_EQ(a.outcome, b.outcome);
     EXPECT_EQ(a.due_reason, b.due_reason);
+    EXPECT_EQ(a.due_reason_code, b.due_reason_code);
+    // The fault-site context is resolved from the golden liveness timeline,
+    // which only the plain golden run records — it must be bit-for-bit
+    // invariant across acceleration levels and job counts.
+    EXPECT_EQ(a.site.live, b.site.live);
+    EXPECT_EQ(a.site.dyn_index, b.site.dyn_index);
+    EXPECT_EQ(a.site.pc, b.site.pc);
+    EXPECT_EQ(a.site.cta, b.site.cta);
+    EXPECT_EQ(a.site.warp, b.site.warp);
+    EXPECT_EQ(a.site.op, b.site.op);
+    EXPECT_EQ(a.site.stage, b.site.stage);
+    EXPECT_EQ(a.site.unit_busy, b.site.unit_busy);
     EXPECT_EQ(a.corrupted_elements, b.corrupted_elements);
     EXPECT_EQ(a.corrupted_threads, b.corrupted_threads);
     ASSERT_EQ(a.diffs.size(), b.diffs.size());
@@ -228,6 +241,78 @@ TEST(CampaignEquivalence, ObservabilityOnOffByteIdentity) {
   }
   obs::set_enabled(true);
   obs::Registry::global().reset();
+}
+
+TEST(CampaignEquivalence, AttributionTablesAndRenderedReportInvariant) {
+  // The attribution join (fault cycle -> live instruction) and everything
+  // downstream of it — the per-site tables and the fully rendered report,
+  // text and JSON — must be byte-identical across the accel x jobs grid.
+  // This is the contract `gpufi report` sells: the acceleration level and
+  // thread count are pure speed knobs.
+  const auto all = cases();
+  const Case& c = all[0];  // FFMA on the FP32 FU
+
+  const auto report_renderings = [&](Acceleration accel, unsigned jobs) {
+    CampaignConfig cfg;
+    cfg.module = c.module;
+    cfg.n_faults = c.n_faults;
+    cfg.seed = 99;
+    cfg.jobs = jobs;
+    cfg.acceleration = accel;
+    const GoldenContext golden = prepare_golden(c.workload, cfg);
+    const CampaignResult r = run_campaign(c.workload, cfg, golden);
+    attr::CampaignSlice slice;
+    slice.module = std::string(rtl::module_name(c.module));
+    slice.sites = r.attribution;
+    slice.injected = r.injected;
+    const attr::Report report =
+        attr::build_report(c.workload.name, *golden.liveness, {slice});
+    return std::pair<std::string, std::string>(attr::render_text(report),
+                                               attr::render_json(report));
+  };
+
+  const auto base = report_renderings(Acceleration::None, 1);
+  EXPECT_NE(base.first.find("Per-(module x static instruction)"),
+            std::string::npos);
+  EXPECT_NE(base.second.find("\"instructions\":["), std::string::npos);
+  for (const auto accel : {Acceleration::None, Acceleration::Checkpoint,
+                           Acceleration::CheckpointEarlyExit}) {
+    for (const unsigned jobs : {1u, 4u}) {
+      SCOPED_TRACE("accel=" + std::to_string(static_cast<int>(accel)) +
+                   " jobs=" + std::to_string(jobs));
+      const auto other = report_renderings(accel, jobs);
+      EXPECT_EQ(base.first, other.first);
+      EXPECT_EQ(base.second, other.second);
+    }
+  }
+}
+
+TEST(CampaignEquivalence, FaultSitesResolveAgainstGoldenTimeline) {
+  // Attribution is not vacuous: every trial lands in the table (hit counts
+  // sum back to the injection count, outcomes partition the hits) and on a
+  // busy single-warp workload the faults overwhelmingly resolve to live
+  // instructions. Records, when kept, carry the same resolved context.
+  const auto all = cases();
+  for (const auto& c : {all[0], all[6]}) {  // FFMA/fp32 and t-MxM/sched
+    SCOPED_TRACE(c.workload.name);
+    const auto r = run_mode(c, Acceleration::CheckpointEarlyExit, 4);
+    std::size_t hits = 0;
+    std::size_t live_hits = 0;
+    for (const auto& [key, counts] : r.attribution) {
+      hits += counts.hits;
+      if (key.live) live_hits += counts.hits;
+      EXPECT_EQ(counts.hits,
+                counts.masked + counts.sdc_single + counts.sdc_multi +
+                    counts.due);
+    }
+    EXPECT_EQ(hits, r.injected);
+    EXPECT_GT(live_hits, 0u);
+    for (const auto& rec : r.records) {
+      if (!rec.site.live) continue;
+      EXPECT_NE(rec.site.stage, rtl::PipeStage::Idle);
+      EXPECT_LT(rec.site.pc, c.workload.program.code.size());
+    }
+  }
 }
 
 TEST(StuckAtAcceptance, SchedulerStuckAt1ProducesHangsTransientDoesNot) {

@@ -429,6 +429,62 @@ TEST(Serve, ServedResultIsByteIdenticalToOffline) {
   server.shutdown(/*drain=*/true);
 }
 
+TEST(Serve, ResultCarriesVersionedRecordsAndAttribution) {
+  // The v2 result serialization: a record_version marker, one site= line
+  // per record (the fault-site context), and the attribution table ahead
+  // of the syndrome-db block — all inside the byte-identity contract.
+  const auto spec = small_rtl_spec();
+  const std::string offline = run_spec_offline(spec);
+  EXPECT_NE(offline.find("record_version=2\n"), std::string::npos);
+  EXPECT_NE(offline.find("attr_sites="), std::string::npos);
+  EXPECT_NE(offline.find("attr="), std::string::npos);
+  // The attribution lines precede the database block.
+  EXPECT_LT(offline.find("attr_sites="), offline.find("--- syndrome-db ---"));
+}
+
+TEST(Serve, ServedReportIsByteIdenticalToOffline) {
+  // The Report frame: a ReportRequest carrying an rtl spec answers with the
+  // attribution-report JSON, byte-identical to the offline rendering of the
+  // same spec (`gpufi report --json`).
+  const auto spec = small_rtl_spec();
+  const std::string offline = run_report_offline(spec);
+  ASSERT_FALSE(offline.empty());
+  EXPECT_NE(offline.find("\"instructions\":["), std::string::npos);
+
+  ServerConfig cfg;
+  cfg.socket_path = "serve_report.sock";
+  cfg.workers = 1;
+  Server server(cfg);
+  server.start();
+  std::string error;
+  const auto served = query_report(cfg.socket_path, spec, {}, &error);
+  ASSERT_TRUE(served.has_value()) << error;
+  EXPECT_EQ(*served, offline);
+  server.shutdown(/*drain=*/true);
+}
+
+TEST(Serve, ReportRequestRejectsNonRtlSpecs) {
+  // Attribution joins RTL fault cycles to the golden liveness timeline;
+  // software/CNN campaigns have no such timeline, so the server answers a
+  // non-rtl ReportRequest with an Error frame instead of a Report.
+  CampaignSpec spec;
+  spec.kind = CampaignKind::Sw;
+  spec.app = "mxm";
+  spec.model = "bitflip";
+  spec.injections = 5;
+
+  ServerConfig cfg;
+  cfg.socket_path = "serve_report_bad.sock";
+  cfg.workers = 1;
+  Server server(cfg);
+  server.start();
+  std::string error;
+  const auto served = query_report(cfg.socket_path, spec, {}, &error);
+  EXPECT_FALSE(served.has_value());
+  EXPECT_NE(error.find("rtl"), std::string::npos);
+  server.shutdown(/*drain=*/true);
+}
+
 TEST(Serve, ServedStuckAtCampaignMatchesOffline) {
   // The determinism contract holds along the fault-model axis too: a
   // stuck-at-1 campaign served over the socket must be byte-identical to
