@@ -16,6 +16,7 @@
 #include "rtlfi/campaign.hpp"
 #include "rtlfi/microbench.hpp"
 #include "rtl/sm.hpp"
+#include "swfi/planner.hpp"
 #include "swfi/swfi.hpp"
 
 using namespace gpufi;
@@ -364,6 +365,120 @@ void report_sw_throughput() {
   }
 }
 
+/// The SoA-interpreter acceptance check: the same software campaign through
+/// the scalar and the batched SoA execution paths, min-of-3 wall times each,
+/// with the outcome counters required identical (the SIMT-equivalence
+/// contract that emu_equiv_test proves instruction-by-instruction). Appended
+/// to `BENCH_sw.json`.
+void report_sw_soa_throughput() {
+  auto h = apps::make_mxm(24);
+  swfi::Config cfg;
+  cfg.model = swfi::FaultModel::SingleBitFlip;
+  cfg.n_injections = 80;
+  cfg.seed = 7;
+  cfg.jobs = 1;
+  struct Timed {
+    double seconds = 0;
+    swfi::Result result;
+  };
+  const auto timed = [&](emu::Interpreter interp) {
+    cfg.interpreter = interp;
+    Timed t;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      t.result = swfi::run_sw_campaign(h.app, cfg);
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      if (rep == 0 || s < t.seconds) t.seconds = s;
+    }
+    return t;
+  };
+  const Timed scalar = timed(emu::Interpreter::Scalar);
+  const Timed soa = timed(emu::Interpreter::SoA);
+  const bool identical = scalar.result.masked == soa.result.masked &&
+                         scalar.result.sdc == soa.result.sdc &&
+                         scalar.result.due == soa.result.due;
+  const auto rate = [&](const Timed& t) {
+    return t.seconds > 0
+               ? static_cast<double>(t.result.injections) / t.seconds
+               : 0.0;
+  };
+  char json[512];
+  std::snprintf(
+      json, sizeof json,
+      "{\"bench\":\"sw_soa_injections\",\"app\":\"mxm\","
+      "\"model\":\"bitflip\",\"injections\":%zu,\"jobs\":1,\"reps\":3,"
+      "\"inj_per_sec_scalar\":%.1f,\"inj_per_sec_soa\":%.1f,"
+      "\"speedup_soa\":%.2f,\"identical_outcomes\":%s}",
+      cfg.n_injections, rate(scalar), rate(soa),
+      rate(scalar) > 0 ? rate(soa) / rate(scalar) : 0.0,
+      identical ? "true" : "false");
+  std::printf("%s\n", json);
+  if (std::FILE* f = std::fopen("BENCH_sw.json", "a")) {
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
+}
+
+/// The planner acceptance check: a fixed-size campaign on the scalar
+/// interpreter versus the same statistical question answered by the SoA
+/// interpreter plus the Wilson-interval planner. The combined speedup
+/// multiplies the per-injection win (SoA) by the trials the stop rule never
+/// has to run — both measured against the current scalar fixed baseline;
+/// the cross-PR throughput trend (the 5x bar against the pre-SoA baseline)
+/// is tracked by `sw_campaign_injections` across CI artifacts.
+void report_planner_savings() {
+  auto h = apps::make_mxm(24);
+  swfi::Config cfg;
+  cfg.model = swfi::FaultModel::SingleBitFlip;
+  cfg.n_injections = 400;
+  cfg.seed = 7;
+  cfg.jobs = 1;
+  const auto best_of = [&](auto&& run) {
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      run();
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      if (rep == 0 || s < best) best = s;
+    }
+    return best;
+  };
+  // Baseline: the exact-grid campaign as PR 7 ran it (scalar, every trial).
+  cfg.interpreter = emu::Interpreter::Scalar;
+  const double fixed_scalar_s =
+      best_of([&] { swfi::run_sw_campaign(h.app, cfg); });
+  // This PR: batched SoA execution plus the adaptive stop rule.
+  cfg.interpreter = emu::Interpreter::SoA;
+  swfi::Plan plan;
+  plan.target_err = 0.06;
+  plan.min_trials = 16;
+  swfi::PlanResult pr;
+  const double planned_soa_s =
+      best_of([&] { pr = swfi::run_planned_campaign(h.app, cfg, plan); });
+  const double combined =
+      planned_soa_s > 0 ? fixed_scalar_s / planned_soa_s : 0.0;
+  char json[512];
+  std::snprintf(
+      json, sizeof json,
+      "{\"bench\":\"sw_planner_trials_saved\",\"app\":\"mxm\","
+      "\"model\":\"bitflip\",\"planned_trials\":%zu,\"trials_run\":%zu,"
+      "\"trials_saved\":%zu,\"strata\":%zu,\"pvf\":%.4f,"
+      "\"pvf_half_width\":%.4f,\"seconds_fixed_scalar\":%.3f,"
+      "\"seconds_planned_soa\":%.3f,\"combined_speedup\":%.2f}",
+      pr.planned_trials, pr.result.injections, pr.trials_saved,
+      pr.strata.size(), pr.pvf, pr.pvf_half_width, fixed_scalar_s,
+      planned_soa_s, combined);
+  std::printf("%s\n", json);
+  if (std::FILE* f = std::fopen("BENCH_sw.json", "a")) {
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -376,5 +491,7 @@ int main(int argc, char** argv) {
   report_fault_model_throughput();
   report_obs_overhead();
   report_sw_throughput();
+  report_sw_soa_throughput();
+  report_planner_savings();
   return 0;
 }

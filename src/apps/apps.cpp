@@ -127,7 +127,12 @@ HpcApp make_mxm(unsigned n) {
     dev.copy_in_f(b_base, b.data(), words);
     Program p = mxm_kernel();
     p.params = {a_base, b_base, c_base, n, n / 8, 0, 0, 0};
-    return launch_ok(dev, p, LaunchDims{n / 8, n / 8, 8, 8}, hook, 8'000'000);
+    // The golden run retires ~11*n^3 thread-instructions, so this watchdog
+    // is ~11x golden at every problem size (a flat budget is dozens of
+    // times golden for small n, and a fault-induced hang then costs dozens
+    // of times a healthy trial before it converts into a DUE).
+    const auto budget = 120ull * n * n * n;
+    return launch_ok(dev, p, LaunchDims{n / 8, n / 8, 8, 8}, hook, budget);
   };
   h.app.read_output = [=](const Device& dev) {
     return read_region(dev, c_base, words);

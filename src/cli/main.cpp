@@ -40,6 +40,7 @@
 #include "rtlfi/microbench.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "swfi/planner.hpp"
 #include "swfi/swfi.hpp"
 #include "syndrome/syndrome.hpp"
 #include "vocab/vocab.hpp"
@@ -60,7 +61,7 @@ int usage() {
       "[--fault-model transient[,stuck0,...]]\n"
       "  gpufi sw <mxm|gaussian|lud|hotspot|lava|quicksort> "
       "<bitflip|doublebit|syndrome|warp|sticky> [--injections N] "
-      "[--db PATH]\n"
+      "[--db PATH] [--plan target_err=X[,min_trials=N][,max_trials=N]]\n"
       "  gpufi cnn <lenet|yolo> <bitflip|syndrome|tmxm> [--injections N] "
       "[--db PATH] [--models DIR]\n"
       "  gpufi report <op> [<module>|all] [--range S|M|L] [--faults N] "
@@ -76,6 +77,13 @@ int usage() {
       "(default: GPUFI_JOBS env, else all hardware threads; submit defaults\n"
       "to 1 — the daemon's workers are the wide axis). Results are\n"
       "byte-identical for every --jobs value.\n"
+      "\n"
+      "software campaigns (sw, submit sw) accept --plan: a ZOFI-style\n"
+      "adaptive sampler that stratifies injections over (opcode x input\n"
+      "range), stops each stratum once the Wilson interval on its SDC rate\n"
+      "is narrower than target_err, and reports the stratified PVF with its\n"
+      "half-width plus the trials saved. --injections stays the total trial\n"
+      "budget; results are byte-identical for every --jobs value.\n"
       "\n"
       "RTL commands accept --accel none|checkpoint|full: the checkpoint\n"
       "fast-forward / golden-convergence early-exit level (default full;\n"
@@ -188,6 +196,8 @@ struct Options {
   // report options
   bool json = false;      ///< report: machine-readable rendering
   std::string out_path;   ///< report: write here (atomic) instead of stdout
+  // sw planner options
+  std::string plan;       ///< --plan raw vocabulary ("" = fixed campaign)
 
   static std::optional<Options> parse(int argc, char** argv, int first) {
     Options o;
@@ -305,6 +315,13 @@ struct Options {
       } else if (key == "--burst-period") {
         if (!number()) return std::nullopt;
         o.burst_period = n;
+      } else if (key == "--plan") {
+        std::string err;
+        if (!vocab::parse_plan(val, &err)) {
+          usage_error(err);
+          return std::nullopt;
+        }
+        o.plan = val;
       } else if (key == "--progress-interval") {
         const auto iv = vocab::parse_progress_interval(val);
         if (!iv) {
@@ -509,6 +526,33 @@ int cmd_sw(int argc, char** argv) {
     // stuck-at-1 syndrome class (transient fallback inside the database).
     if (cfg.model == swfi::FaultModel::StickyRelativeError)
       cfg.syndrome_model = rtl::FaultModel::StuckAt1;
+  }
+  if (!o->plan.empty()) {
+    const auto plan = *vocab::parse_plan(o->plan);  // validated at parse time
+    std::printf("== planned software campaign: %s under %s, budget %zu "
+                "(target_err %.3g)\n",
+                app.app.name.c_str(),
+                std::string(fault_model_name(cfg.model)).c_str(),
+                o->injections, plan.target_err);
+    const auto pr = swfi::run_planned_campaign(app.app, cfg, plan);
+    std::printf("candidates %llu\n",
+                static_cast<unsigned long long>(
+                    pr.result.candidate_instructions));
+    for (const auto& s : pr.strata)
+      std::printf("  %-5s %s  cand %-8llu trials %zu/%zu  sdc %llu  (%s, "
+                  "hw %.3f)\n",
+                  std::string(isa::mnemonic(s.op)).c_str(),
+                  std::string(rtlfi::range_name(s.range)).c_str(),
+                  static_cast<unsigned long long>(s.candidates), s.trials,
+                  s.budget, static_cast<unsigned long long>(s.sdc),
+                  std::string(swfi::stratum_stop_name(s.stop)).c_str(),
+                  s.sdc_half_width);
+    std::printf("PVF        %.3f +- %.3f (stratified)\nSDC %zu / masked %zu "
+                "/ DUE %zu\ntrials     %zu of %zu planned (%zu saved)\n",
+                pr.pvf, pr.pvf_half_width, pr.result.sdc, pr.result.masked,
+                pr.result.due, pr.result.injections, pr.planned_trials,
+                pr.trials_saved);
+    return 0;
   }
   std::printf("== software campaign: %s under %s, %zu injections\n",
               app.app.name.c_str(),
@@ -729,6 +773,7 @@ int cmd_submit(int argc, char** argv) {
   spec.priority = o->priority;
   spec.deadline_ms = o->deadline_ms;
   spec.progress_interval = o->progress_interval;
+  spec.plan = o->plan;
   if (const auto err = serve::validate_spec(spec)) return usage_error(*err);
 
   const auto outcome = serve::submit_campaign(
@@ -771,6 +816,7 @@ int cmd_status(int argc, char** argv) {
               s->accepted, s->completed, s->failed, s->cancelled,
               s->rejected, s->active, s->queued, s->queue_capacity,
               s->workers);
+  std::printf("planner early stops %zu\n", s->planner_early_stops);
   std::printf("db cache     %zu hits / %zu misses\n", s->db_cache.hits,
               s->db_cache.misses);
   std::printf("golden cache %zu hits / %zu misses\n", s->golden_cache.hits,

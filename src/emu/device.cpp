@@ -23,41 +23,56 @@ std::uint32_t Device::alloc(std::size_t words) {
   return base;
 }
 
+void Device::reset() {
+  std::fill(global_.begin(),
+            global_.begin() + static_cast<std::ptrdiff_t>(touched_high_), 0u);
+  touched_high_ = 0;
+  alloc_watermark_ = 0;
+}
+
 std::uint32_t Device::read_word(std::uint32_t addr) const {
   return global_.at(addr);
 }
 void Device::write_word(std::uint32_t addr, std::uint32_t value) {
   global_.at(addr) = value;
+  touch(static_cast<std::size_t>(addr) + 1);
 }
 float Device::read_float(std::uint32_t addr) const {
   return std::bit_cast<float>(global_.at(addr));
 }
 void Device::write_float(std::uint32_t addr, float value) {
-  global_.at(addr) = std::bit_cast<std::uint32_t>(value);
+  write_word(addr, std::bit_cast<std::uint32_t>(value));
 }
 
 void Device::copy_in(std::uint32_t addr, const std::uint32_t* src,
                      std::size_t words) {
-  if (addr + words > global_.size()) throw std::out_of_range("copy_in");
+  if (!in_bounds(addr, words)) throw std::out_of_range("copy_in");
   std::copy(src, src + words, global_.begin() + addr);
+  touch(addr + words);
 }
 void Device::copy_out(std::uint32_t addr, std::uint32_t* dst,
                       std::size_t words) const {
-  if (addr + words > global_.size()) throw std::out_of_range("copy_out");
+  if (!in_bounds(addr, words)) throw std::out_of_range("copy_out");
   std::copy(global_.begin() + addr, global_.begin() + addr + words, dst);
 }
 void Device::copy_in_f(std::uint32_t addr, const float* src,
                        std::size_t words) {
-  copy_in(addr, reinterpret_cast<const std::uint32_t*>(src), words);
+  if (!in_bounds(addr, words)) throw std::out_of_range("copy_in_f");
+  for (std::size_t i = 0; i < words; ++i)
+    global_[addr + i] = std::bit_cast<std::uint32_t>(src[i]);
+  touch(addr + words);
 }
 void Device::copy_out_f(std::uint32_t addr, float* dst,
                         std::size_t words) const {
-  copy_out(addr, reinterpret_cast<std::uint32_t*>(dst), words);
+  if (!in_bounds(addr, words)) throw std::out_of_range("copy_out_f");
+  for (std::size_t i = 0; i < words; ++i)
+    dst[i] = std::bit_cast<float>(global_[addr + i]);
 }
 void Device::fill(std::uint32_t addr, std::size_t words,
                   std::uint32_t value) {
-  if (addr + words > global_.size()) throw std::out_of_range("fill");
+  if (!in_bounds(addr, words)) throw std::out_of_range("fill");
   std::fill(global_.begin() + addr, global_.begin() + addr + words, value);
+  touch(addr + words);
 }
 
 namespace {
@@ -110,6 +125,13 @@ class Trap : public std::runtime_error {
 
 LaunchResult Device::launch(const isa::Program& prog, const LaunchDims& dims,
                             const LaunchConfig& cfg) {
+  return interp_ == Interpreter::Scalar ? launch_scalar(prog, dims, cfg)
+                                        : launch_soa(prog, dims, cfg);
+}
+
+LaunchResult Device::launch_scalar(const isa::Program& prog,
+                                   const LaunchDims& dims,
+                                   const LaunchConfig& cfg) {
   LaunchResult result;
   const unsigned tpc = dims.threads_per_cta();
   if (tpc == 0 || dims.ctas() == 0) return result;
@@ -183,6 +205,10 @@ LaunchResult Device::launch(const isa::Program& prog, const LaunchDims& dims,
           const std::int32_t pc = top.pc;
           if (pc < 0 || pc >= code_size) throw Trap("invalid PC");
           const Instr& instr = prog.code[pc];
+          // A spent one-shot hook drops the rest of the launch to the
+          // unhooked fast path (results are identical either way).
+          InstrumentHook* const hook =
+              cfg.hook && !cfg.hook->done() ? cfg.hook : nullptr;
 
           // Per-thread guard evaluation.
           std::uint32_t exec = 0;
@@ -201,17 +227,20 @@ LaunchResult Device::launch(const isa::Program& prog, const LaunchDims& dims,
           // Retirement accounting + profiling hook (all participating
           // threads, guarded-off threads do not retire).
           auto count_retired = [&](std::uint32_t mask) {
-            for (unsigned lane = 0; lane < kWarpSize; ++lane) {
-              if (!(mask & (1u << lane))) continue;
+            if (!hook) {
+              retired += static_cast<unsigned>(std::popcount(mask));
+              return;
+            }
+            for (std::uint32_t m = mask; m; m &= m - 1) {
+              const unsigned lane =
+                  static_cast<unsigned>(std::countr_zero(m));
               ++retired;
-              if (cfg.hook) {
-                RetireInfo info;
-                info.instr = &instr;
-                info.pc = pc;
-                info.thread = ThreadId{cta, w, lane, w * kWarpSize + lane};
-                info.dyn_index = retired - 1;
-                cfg.hook->on_count(info);
-              }
+              RetireInfo info;
+              info.instr = &instr;
+              info.pc = pc;
+              info.thread = ThreadId{cta, w, lane, w * kWarpSize + lane};
+              info.dyn_index = retired - 1;
+              hook->on_count(info);
             }
           };
 
@@ -266,7 +295,7 @@ LaunchResult Device::launch(const isa::Program& prog, const LaunchDims& dims,
                              ? isa::cmp_eval_i(instr.cmp, a, b)
                              : isa::cmp_eval_f(instr.cmp, a, b);
                 ++retired;
-                if (cfg.hook) {
+                if (hook) {
                   RetireInfo info;
                   info.instr = &instr;
                   info.pc = pc;
@@ -274,8 +303,8 @@ LaunchResult Device::launch(const isa::Program& prog, const LaunchDims& dims,
                   info.dyn_index = retired - 1;
                   info.a = a;
                   info.b = b;
-                  cfg.hook->on_count(info);
-                  cfg.hook->on_pred_retire(info, v);
+                  hook->on_count(info);
+                  hook->on_pred_retire(info, v);
                 }
                 ctx.pred(tid, instr.dst & (isa::kNumPreds - 1)) = v ? 1 : 0;
               }
@@ -310,7 +339,7 @@ LaunchResult Device::launch(const isa::Program& prog, const LaunchDims& dims,
                   value = resolve(instr.b, tid);
                 }
                 ++retired;
-                if (cfg.hook) {
+                if (hook) {
                   RetireInfo info;
                   info.instr = &instr;
                   info.pc = pc;
@@ -318,13 +347,16 @@ LaunchResult Device::launch(const isa::Program& prog, const LaunchDims& dims,
                   info.dyn_index = retired - 1;
                   info.a = base;
                   info.b = value;
-                  cfg.hook->on_count(info);
-                  if (is_load) cfg.hook->on_retire(info, value);
+                  hook->on_count(info);
+                  if (is_load) hook->on_retire(info, value);
                 }
                 if (is_load) {
                   ctx.reg(tid, instr.dst & (isa::kNumRegs - 1)) = value;
+                } else if (is_global) {
+                  global_[addr] = value;
+                  touch(static_cast<std::size_t>(addr) + 1);
                 } else {
-                  (is_global ? global_[addr] : ctx.shared[addr]) = value;
+                  ctx.shared[addr] = value;
                 }
               }
               top.pc = pc + 1;
@@ -347,7 +379,7 @@ LaunchResult Device::launch(const isa::Program& prog, const LaunchDims& dims,
                 std::uint32_t value =
                     isa::alu_result(instr.op, a, b, c, c_pred);
                 ++retired;
-                if (cfg.hook) {
+                if (hook) {
                   RetireInfo info;
                   info.instr = &instr;
                   info.pc = pc;
@@ -356,8 +388,8 @@ LaunchResult Device::launch(const isa::Program& prog, const LaunchDims& dims,
                   info.a = a;
                   info.b = b;
                   info.c = c;
-                  cfg.hook->on_count(info);
-                  cfg.hook->on_retire(info, value);
+                  hook->on_count(info);
+                  hook->on_retire(info, value);
                 }
                 ctx.reg(tid, instr.dst & (isa::kNumRegs - 1)) = value;
               }
@@ -402,6 +434,445 @@ LaunchResult Device::launch(const isa::Program& prog, const LaunchDims& dims,
             if (!warp.done && !warp.at_barrier) all_at_bar = false;
           if (all_at_bar)
             for (auto& warp : ctx.warps) warp.at_barrier = false;
+        }
+      }
+    }
+  } catch (const Trap& t) {
+    result.status = LaunchStatus::Trap;
+    result.trap_reason = t.what();
+  }
+  result.retired = retired;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// SoA warp execution.
+//
+// CTA state is structure-of-arrays: register r of warp w lives in one
+// contiguous 32-lane slab (regs[(w*kNumRegs + r)*32 + lane]), predicates
+// likewise. An instruction is decoded once per warp; operands are gathered
+// once (register operands alias their slab, immediates broadcast, special
+// registers compute per lane); all lanes then execute through the
+// isa::*_lanes kernels in tight branch-free loops. The retire-callback loop
+// runs in lane order with the same RetireInfo values as the scalar path, so
+// hooks — including the injection hook targeting the N-th dynamic candidate
+// — observe a bit-identical stream (tests/emu_equiv_test.cpp pins this).
+// Lanes of one warp-instruction are independent (each lane reads and writes
+// only its own slab index), so gather -> batch compute -> ordered retire is
+// exactly the scalar interleaving. Memory instructions stay lane-sequential
+// to preserve trap ordering and later-lane-wins store semantics.
+// ---------------------------------------------------------------------------
+
+LaunchResult Device::launch_soa(const isa::Program& prog,
+                                const LaunchDims& dims,
+                                const LaunchConfig& cfg) {
+  LaunchResult result;
+  const unsigned tpc = dims.threads_per_cta();
+  if (tpc == 0 || dims.ctas() == 0) return result;
+  const auto code_size = static_cast<std::int32_t>(prog.code.size());
+  const unsigned warps = (tpc + kWarpSize - 1) / kWarpSize;
+  std::uint64_t retired = 0;
+
+  // Lane slabs, allocated once and re-zeroed per CTA. Slabs are 32-wide even
+  // for a partial tail warp; lanes past tpc never enter an active mask, and
+  // their garbage results are discarded by the execution mask.
+  std::vector<std::uint32_t> regs(
+      static_cast<std::size_t>(warps) * isa::kNumRegs * kWarpSize);
+  std::vector<std::uint8_t> preds(
+      static_cast<std::size_t>(warps) * isa::kNumPreds * kWarpSize);
+  std::vector<std::uint32_t> shared;
+  std::vector<Warp> warp_state(warps);
+
+  const auto reg_slab = [&](unsigned w, unsigned r) {
+    return regs.data() +
+           (static_cast<std::size_t>(w) * isa::kNumRegs + r) * kWarpSize;
+  };
+  const auto pred_slab = [&](unsigned w, unsigned p) {
+    return preds.data() +
+           (static_cast<std::size_t>(w) * isa::kNumPreds + p) * kWarpSize;
+  };
+
+  // Per-warp operand staging.
+  alignas(64) std::uint32_t imm_a[kWarpSize];
+  alignas(64) std::uint32_t imm_b[kWarpSize];
+  alignas(64) std::uint32_t imm_c[kWarpSize];
+  alignas(64) std::uint32_t vals[kWarpSize];
+  alignas(64) std::uint8_t pvals[kWarpSize];
+  static constexpr std::uint32_t kZeros[kWarpSize] = {};
+
+  try {
+    for (unsigned cta = 0; cta < dims.ctas(); ++cta) {
+      const unsigned cta_x = cta % dims.grid_x;
+      const unsigned cta_y = cta / dims.grid_x;
+      std::fill(regs.begin(), regs.end(), 0u);
+      std::fill(preds.begin(), preds.end(), std::uint8_t{0});
+      shared.assign(prog.shared_words, 0);
+      for (unsigned w = 0; w < warps; ++w) {
+        const unsigned lo = w * kWarpSize;
+        const unsigned hi = std::min(tpc, lo + kWarpSize);
+        std::uint32_t mask = 0;
+        for (unsigned t = lo; t < hi; ++t) mask |= 1u << (t - lo);
+        warp_state[w] = Warp{};
+        warp_state[w].stack.push_back(StackEntry{0, -1, mask});
+      }
+
+      // Gathers one source operand for the lanes of warp `w` named by
+      // `lanes` (pure reads, so hoisting the whole gather ahead of the lane
+      // loop is equivalent to the scalar path's per-lane resolve). Dense
+      // masks fill the whole 32-slot scratch in straight-line loops; sparse
+      // masks (a mostly-exited warp, e.g. one lane spinning on a corrupted
+      // loop counter) fill only the live slots by bit-iterating the mask,
+      // so per-retired-instruction cost tracks live lanes, not warp width.
+      const auto gather = [&](const Operand& op, unsigned w,
+                              std::uint32_t lanes,
+                              std::uint32_t* scratch) -> const std::uint32_t* {
+        const bool dense = std::popcount(lanes) * 2 >= int{kWarpSize};
+        const auto broadcast = [&](std::uint32_t v) {
+          if (dense) {
+            for (unsigned l = 0; l < kWarpSize; ++l) scratch[l] = v;
+          } else {
+            for (std::uint32_t m = lanes; m; m &= m - 1)
+              scratch[std::countr_zero(m)] = v;
+          }
+          return scratch;
+        };
+        const auto per_lane = [&](auto&& value_of) {
+          if (dense) {
+            for (unsigned l = 0; l < kWarpSize; ++l) scratch[l] = value_of(l);
+          } else {
+            for (std::uint32_t m = lanes; m; m &= m - 1) {
+              const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+              scratch[l] = value_of(l);
+            }
+          }
+          return scratch;
+        };
+        switch (op.kind) {
+          case OperandKind::Reg:
+            return reg_slab(w, op.value & (isa::kNumRegs - 1));
+          case OperandKind::Imm:
+            return broadcast(op.value);
+          case OperandKind::Special: {
+            const unsigned base_tid = w * kWarpSize;
+            switch (static_cast<isa::SReg>(op.value)) {
+              case isa::SReg::TID_X:
+                return per_lane(
+                    [&](unsigned l) { return (base_tid + l) % dims.block_x; });
+              case isa::SReg::TID_Y:
+                return per_lane(
+                    [&](unsigned l) { return (base_tid + l) / dims.block_x; });
+              case isa::SReg::NTID_X: return broadcast(dims.block_x);
+              case isa::SReg::NTID_Y: return broadcast(dims.block_y);
+              case isa::SReg::CTAID_X: return broadcast(cta_x);
+              case isa::SReg::CTAID_Y: return broadcast(cta_y);
+              case isa::SReg::NCTAID_X: return broadcast(dims.grid_x);
+              case isa::SReg::NCTAID_Y: return broadcast(dims.grid_y);
+              case isa::SReg::LANEID:
+                return per_lane([](unsigned l) { return l; });
+              default: {
+                const auto p = static_cast<unsigned>(op.value) -
+                               static_cast<unsigned>(isa::SReg::PARAM0);
+                return broadcast(prog.params[p % isa::kNumParams]);
+              }
+            }
+          }
+          case OperandKind::None:
+            return kZeros;
+        }
+        return kZeros;
+      };
+
+      bool all_done = false;
+      while (!all_done) {
+        bool progressed = false;
+        all_done = true;
+        for (unsigned w = 0; w < warps; ++w) {
+          Warp& warp = warp_state[w];
+          if (warp.done) continue;
+          all_done = false;
+          if (warp.at_barrier) continue;
+          progressed = true;
+
+          StackEntry& top = warp.stack.back();
+          const std::int32_t pc = top.pc;
+          if (pc < 0 || pc >= code_size) throw Trap("invalid PC");
+          const Instr& instr = prog.code[pc];
+          // A spent one-shot hook drops the rest of the launch to the
+          // unhooked fast path (results are identical either way).
+          InstrumentHook* const hook =
+              cfg.hook && !cfg.hook->done() ? cfg.hook : nullptr;
+
+          // Guard mask, evaluated from the predicate slab over live lanes.
+          std::uint32_t exec = top.mask;
+          if (instr.pred >= 0) {
+            const std::uint8_t* ps =
+                pred_slab(w, static_cast<unsigned>(instr.pred) &
+                                 (isa::kNumPreds - 1));
+            std::uint32_t on = 0;
+            for (std::uint32_t m = top.mask; m; m &= m - 1) {
+              const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+              on |= static_cast<std::uint32_t>(ps[l] != 0) << l;
+            }
+            if (instr.pred_neg) on = ~on;
+            exec &= on;
+          }
+
+          auto count_retired = [&](std::uint32_t mask) {
+            if (!hook) {
+              retired += static_cast<unsigned>(std::popcount(mask));
+              return;
+            }
+            for (std::uint32_t m = mask; m; m &= m - 1) {
+              const unsigned lane =
+                  static_cast<unsigned>(std::countr_zero(m));
+              ++retired;
+              RetireInfo info;
+              info.instr = &instr;
+              info.pc = pc;
+              info.thread = ThreadId{cta, w, lane, w * kWarpSize + lane};
+              info.dyn_index = retired - 1;
+              hook->on_count(info);
+            }
+          };
+
+          switch (instr.op) {
+            case Opcode::BRA: {
+              count_retired(exec);
+              const std::uint32_t not_taken = top.mask & ~exec;
+              if (not_taken == 0) {
+                if (instr.target < 0) throw Trap("BRA without target");
+                top.pc = instr.target;
+              } else if (exec == 0) {
+                top.pc = pc + 1;
+              } else {
+                if (instr.reconv < 0)
+                  throw Trap("divergent BRA without reconvergence point");
+                if (warp.stack.size() + 2 > kMaxStackDepth)
+                  throw Trap("SIMT stack overflow");
+                top.pc = instr.reconv;  // merged continuation
+                warp.stack.push_back(
+                    StackEntry{pc + 1, instr.reconv, not_taken});
+                warp.stack.push_back(
+                    StackEntry{instr.target, instr.reconv, exec});
+              }
+              break;
+            }
+            case Opcode::EXIT: {
+              count_retired(exec);
+              for (auto& entry : warp.stack) entry.mask &= ~exec;
+              // Remaining guarded-off threads continue past the EXIT.
+              top.pc = pc + 1;
+              break;
+            }
+            case Opcode::BAR: {
+              count_retired(exec);
+              warp.at_barrier = true;
+              top.pc = pc + 1;
+              break;
+            }
+            case Opcode::NOP: {
+              count_retired(exec);
+              top.pc = pc + 1;
+              break;
+            }
+            case Opcode::ISETP:
+            case Opcode::FSETP: {
+              const std::uint32_t* a = gather(instr.a, w, exec, imm_a);
+              const std::uint32_t* b = gather(instr.b, w, exec, imm_b);
+              if (std::popcount(exec) * 2 >= int{kWarpSize}) {
+                if (instr.op == Opcode::ISETP)
+                  isa::cmp_lanes_i(instr.cmp, a, b, pvals);
+                else
+                  isa::cmp_lanes_f(instr.cmp, a, b, pvals);
+              } else {
+                for (std::uint32_t m = exec; m; m &= m - 1) {
+                  const unsigned l =
+                      static_cast<unsigned>(std::countr_zero(m));
+                  pvals[l] = (instr.op == Opcode::ISETP
+                                  ? isa::cmp_eval_i(instr.cmp, a[l], b[l])
+                                  : isa::cmp_eval_f(instr.cmp, a[l], b[l]))
+                                 ? 1
+                                 : 0;
+                }
+              }
+              std::uint8_t* dst =
+                  pred_slab(w, instr.dst & (isa::kNumPreds - 1));
+              if (hook) {
+                for (std::uint32_t m = exec; m; m &= m - 1) {
+                  const unsigned lane =
+                      static_cast<unsigned>(std::countr_zero(m));
+                  bool v = pvals[lane] != 0;
+                  ++retired;
+                  RetireInfo info;
+                  info.instr = &instr;
+                  info.pc = pc;
+                  info.thread = ThreadId{cta, w, lane, w * kWarpSize + lane};
+                  info.dyn_index = retired - 1;
+                  info.a = a[lane];
+                  info.b = b[lane];
+                  hook->on_count(info);
+                  hook->on_pred_retire(info, v);
+                  dst[lane] = v ? 1 : 0;
+                }
+              } else {
+                for (std::uint32_t m = exec; m; m &= m - 1) {
+                  const unsigned lane =
+                      static_cast<unsigned>(std::countr_zero(m));
+                  dst[lane] = pvals[lane];
+                }
+                retired += static_cast<unsigned>(std::popcount(exec));
+              }
+              top.pc = pc + 1;
+              break;
+            }
+            case Opcode::GLD:
+            case Opcode::GST:
+            case Opcode::LDS:
+            case Opcode::STS: {
+              const bool is_load =
+                  instr.op == Opcode::GLD || instr.op == Opcode::LDS;
+              const bool is_global =
+                  instr.op == Opcode::GLD || instr.op == Opcode::GST;
+              const std::uint32_t* base = gather(instr.a, w, exec, imm_a);
+              const std::uint32_t* sval =
+                  is_load ? kZeros : gather(instr.b, w, exec, imm_b);
+              std::uint32_t* dst = reg_slab(w, instr.dst & (isa::kNumRegs - 1));
+              // Lane-sequential: trap ordering and later-lane-wins stores.
+              for (std::uint32_t lm = exec; lm; lm &= lm - 1) {
+                const unsigned lane =
+                    static_cast<unsigned>(std::countr_zero(lm));
+                std::uint32_t addr =
+                    base[lane] + static_cast<std::uint32_t>(instr.imm);
+                const std::size_t limit =
+                    is_global ? global_.size() : shared.size();
+                if (addr >= limit) {
+                  if (!cfg.oob_wraps || limit == 0)
+                    throw Trap("out-of-bounds memory access");
+                  addr = static_cast<std::uint32_t>(addr % limit);
+                }
+                std::uint32_t value;
+                if (is_load) {
+                  value = is_global ? global_[addr] : shared[addr];
+                } else {
+                  value = sval[lane];
+                }
+                ++retired;
+                if (hook) {
+                  RetireInfo info;
+                  info.instr = &instr;
+                  info.pc = pc;
+                  info.thread = ThreadId{cta, w, lane, w * kWarpSize + lane};
+                  info.dyn_index = retired - 1;
+                  info.a = base[lane];
+                  info.b = value;
+                  hook->on_count(info);
+                  if (is_load) hook->on_retire(info, value);
+                }
+                if (is_load) {
+                  dst[lane] = value;
+                } else if (is_global) {
+                  global_[addr] = value;
+                  touch(static_cast<std::size_t>(addr) + 1);
+                } else {
+                  shared[addr] = value;
+                }
+              }
+              top.pc = pc + 1;
+              break;
+            }
+            default: {  // data-processing instructions
+              const std::uint32_t* a = gather(instr.a, w, exec, imm_a);
+              const std::uint32_t* b = gather(instr.b, w, exec, imm_b);
+              const std::uint32_t* c = kZeros;
+              const std::uint8_t* cp = nullptr;
+              if (instr.op == Opcode::SEL) {
+                cp = pred_slab(w, instr.c.value & (isa::kNumPreds - 1));
+              } else {
+                c = gather(instr.c, w, exec, imm_c);
+              }
+              const auto nactive =
+                  static_cast<unsigned>(std::popcount(exec));
+              if (nactive * 2 >= kWarpSize) {
+                isa::alu_lanes(instr.op, a, b, c, cp, vals);
+              } else if (nactive != 0) {
+                // Sparse masks: batch-computing 31 dead software-FP lanes
+                // costs more than it saves — fall back to active lanes only.
+                for (std::uint32_t m = exec; m; m &= m - 1) {
+                  const unsigned lane =
+                      static_cast<unsigned>(std::countr_zero(m));
+                  vals[lane] = isa::alu_result(instr.op, a[lane], b[lane],
+                                               c[lane],
+                                               cp != nullptr && cp[lane]);
+                }
+              }
+              std::uint32_t* dst = reg_slab(w, instr.dst & (isa::kNumRegs - 1));
+              if (hook) {
+                for (std::uint32_t m = exec; m; m &= m - 1) {
+                  const unsigned lane =
+                      static_cast<unsigned>(std::countr_zero(m));
+                  ++retired;
+                  RetireInfo info;
+                  info.instr = &instr;
+                  info.pc = pc;
+                  info.thread = ThreadId{cta, w, lane, w * kWarpSize + lane};
+                  info.dyn_index = retired - 1;
+                  info.a = a[lane];
+                  info.b = b[lane];
+                  info.c = c[lane];
+                  hook->on_count(info);
+                  std::uint32_t value = vals[lane];
+                  hook->on_retire(info, value);
+                  dst[lane] = value;
+                }
+              } else {
+                for (std::uint32_t m = exec; m; m &= m - 1) {
+                  const unsigned lane =
+                      static_cast<unsigned>(std::countr_zero(m));
+                  dst[lane] = vals[lane];
+                }
+                retired += static_cast<unsigned>(std::popcount(exec));
+              }
+              top.pc = pc + 1;
+              break;
+            }
+          }
+
+          // Merge completed divergence regions and retire empty entries.
+          while (!warp.stack.empty()) {
+            StackEntry& t = warp.stack.back();
+            if (t.mask == 0 || (t.rpc >= 0 && t.pc == t.rpc)) {
+              // An emptied base entry means every thread exited.
+              if (warp.stack.size() == 1 && t.mask != 0) break;
+              warp.stack.pop_back();
+            } else {
+              break;
+            }
+          }
+          if (warp.stack.empty() || warp.stack.back().mask == 0) {
+            warp.done = true;
+          }
+
+          if (retired > cfg.max_retired) {
+            result.status = LaunchStatus::Timeout;
+            result.retired = retired;
+            return result;
+          }
+        }
+
+        // Barrier release: every live warp has arrived.
+        if (!all_done && !progressed) {
+          bool any_waiting = false;
+          for (auto& warp : warp_state)
+            any_waiting |= !warp.done && warp.at_barrier;
+          if (!any_waiting) throw Trap("scheduler deadlock");
+          for (auto& warp : warp_state) warp.at_barrier = false;
+        } else if (!all_done) {
+          // If all non-done warps are at the barrier, release them.
+          bool all_at_bar = true;
+          for (auto& warp : warp_state)
+            if (!warp.done && !warp.at_barrier) all_at_bar = false;
+          if (all_at_bar)
+            for (auto& warp : warp_state) warp.at_barrier = false;
         }
       }
     }

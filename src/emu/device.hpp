@@ -49,6 +49,15 @@ class InstrumentHook {
   virtual void on_retire(const RetireInfo& /*info*/, std::uint32_t& /*value*/) {}
   virtual void on_pred_retire(const RetireInfo& /*info*/, bool& /*value*/) {}
   virtual void on_count(const RetireInfo& /*info*/) {}
+  /// A hook that returns true here promises it no longer observes or mutates
+  /// anything: the interpreter may stop issuing callbacks and drop to the
+  /// unhooked fast path (batched retire accounting) for the rest of the
+  /// launch. Queried once per warp-instruction. Everything the launch
+  /// produces — memory, retired totals, traps — is identical either way;
+  /// a one-shot injection hook uses this to make the post-fire tail of a
+  /// trial (on average half of it, all of it for a fault-induced hang) run
+  /// at uninstrumented speed.
+  virtual bool done() const { return false; }
 };
 
 /// Terminal status of a kernel launch.
@@ -79,6 +88,17 @@ struct LaunchConfig {
   bool oob_wraps = false;
 };
 
+/// Interpreter implementation executing a launch. Both produce bit-identical
+/// results — outputs, retire-callback order and values, traps, and retired
+/// counts (tests/emu_equiv_test.cpp pins this).
+enum class Interpreter : std::uint8_t {
+  Scalar,  ///< reference: one instruction per lane per step
+  /// Structure-of-arrays warp execution: registers and predicates live in
+  /// contiguous per-warp lane slabs, an instruction is decoded once per warp
+  /// and all 32 lanes execute in tight branch-free loops.
+  SoA,
+};
+
 /// Functional SIMT GPU device: flat word-addressed global memory plus a
 /// kernel interpreter with G80-style SIMT divergence stacks and CTA-wide
 /// barriers. This is the software level of the two-level framework: fast,
@@ -90,6 +110,18 @@ class Device {
 
   /// Resets the allocation watermark (memory contents are untouched).
   void reset_allocator() { alloc_watermark_ = 0; }
+
+  /// Restores the device to its freshly-constructed state: every word ever
+  /// written (host copies/fills and kernel global stores) is zeroed again
+  /// and the allocator rewinds. Campaign loops reuse one device per worker
+  /// through this instead of constructing (and zeroing) a new one per trial;
+  /// the post-reset state is byte-identical to a new Device of the same size.
+  void reset();
+
+  /// Selects the interpreter used by launch() (default SoA; the scalar path
+  /// is kept as the equivalence-test and benchmark reference).
+  void set_interpreter(Interpreter i) { interp_ = i; }
+  Interpreter interpreter() const { return interp_; }
 
   /// Bump-allocates `words` words of global memory; returns the word
   /// address. Throws std::bad_alloc when the device is full.
@@ -119,8 +151,26 @@ class Device {
                       const LaunchConfig& cfg = {});
 
  private:
+  /// True when [addr, addr+words) lies inside global memory, computed
+  /// without overflow (`addr + words` can wrap std::size_t).
+  bool in_bounds(std::uint32_t addr, std::size_t words) const {
+    return addr <= global_.size() && words <= global_.size() - addr;
+  }
+  /// Records that words below `end` may now be nonzero (reset() only has to
+  /// zero up to the high-water mark).
+  void touch(std::size_t end) {
+    if (end > touched_high_) touched_high_ = end;
+  }
+
+  LaunchResult launch_scalar(const isa::Program& prog, const LaunchDims& dims,
+                             const LaunchConfig& cfg);
+  LaunchResult launch_soa(const isa::Program& prog, const LaunchDims& dims,
+                          const LaunchConfig& cfg);
+
   std::vector<std::uint32_t> global_;
   std::size_t alloc_watermark_ = 0;
+  std::size_t touched_high_ = 0;  ///< one past the highest word ever written
+  Interpreter interp_ = Interpreter::SoA;
 };
 
 }  // namespace gpufi::emu

@@ -45,6 +45,18 @@ class Profiler : public InstrumentHook {
     return t;
   }
 
+  /// Total retired instructions eligible for software injection — counted
+  /// through isa::is_injection_candidate, the same predicate the swfi
+  /// profile pass uses, so the two layers cannot drift on the candidate
+  /// denominator.
+  std::uint64_t candidate_total() const {
+    std::uint64_t t = 0;
+    for (std::size_t i = 0; i < isa::kNumOpcodes; ++i)
+      if (isa::is_injection_candidate(static_cast<isa::Opcode>(i)))
+        t += counts_[i];
+    return t;
+  }
+
   /// Fraction of retired instructions in a coarse class (Fig. 3 series).
   /// Memory-class counts fold LDS/STS into the GLD/GST bucket as the paper
   /// profile does; "Other" collects everything not characterized.

@@ -15,6 +15,10 @@ bool is_characterized(Opcode op) {
          static_cast<std::uint8_t>(Opcode::ISETP);
 }
 
+bool is_injection_candidate(Opcode op) {
+  return is_characterized(op) && op != Opcode::BRA && op != Opcode::GST;
+}
+
 OpClass op_class(Opcode op) {
   switch (op) {
     case Opcode::FADD:

@@ -57,6 +57,13 @@ constexpr std::size_t kNumOpcodes = static_cast<std::size_t>(Opcode::NOP) + 1;
 /// True for the 12 instructions with an RTL-characterized syndrome.
 bool is_characterized(Opcode op);
 
+/// True for the opcodes eligible for software fault injection: the
+/// RTL-characterized instructions that produce a register or predicate
+/// value. BRA and GST have no destination to corrupt. This is the one
+/// shared eligibility predicate — the swfi profile pass and the emulator
+/// profiler must count the same candidate set, so both call this.
+bool is_injection_candidate(Opcode op);
+
 /// Coarse instruction classes used by the profile figure (Fig. 3) and by the
 /// syndrome database grouping.
 enum class OpClass : std::uint8_t {

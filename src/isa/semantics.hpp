@@ -24,4 +24,31 @@ bool cmp_eval_i(CmpOp cmp, std::uint32_t a, std::uint32_t b);
 /// except for NE, which compares true (IEEE unordered semantics).
 bool cmp_eval_f(CmpOp cmp, std::uint32_t a, std::uint32_t b);
 
+// ---------------------------------------------------------------------------
+// Warp-batched lane kernels.
+//
+// The SoA interpreter decodes an instruction once per warp and then computes
+// all kWarpSize lanes in one tight loop: the opcode switch runs once per
+// warp-instruction instead of once per lane. Every ALU semantic is a pure
+// total function over bit patterns, so inactive lanes are computed on
+// whatever bits their register slab holds and discarded by the caller's
+// execution mask — out[lane] for an active lane is bit-identical to
+// alu_result()/cmp_eval_*() on the same operands.
+// ---------------------------------------------------------------------------
+
+/// alu_result for all kWarpSize lanes. `a`, `b`, `c` point at kWarpSize
+/// operand values; `c_pred` (used by SEL only) points at kWarpSize predicate
+/// bytes and may be null for every other opcode.
+void alu_lanes(Opcode op, const std::uint32_t* a, const std::uint32_t* b,
+               const std::uint32_t* c, const std::uint8_t* c_pred,
+               std::uint32_t* out);
+
+/// cmp_eval_i for all kWarpSize lanes (out[lane] in {0, 1}).
+void cmp_lanes_i(CmpOp cmp, const std::uint32_t* a, const std::uint32_t* b,
+                 std::uint8_t* out);
+
+/// cmp_eval_f for all kWarpSize lanes (out[lane] in {0, 1}).
+void cmp_lanes_f(CmpOp cmp, const std::uint32_t* a, const std::uint32_t* b,
+                 std::uint8_t* out);
+
 }  // namespace gpufi::isa

@@ -240,6 +240,7 @@ std::string encode_spec(const CampaignSpec& spec) {
   put_kv(out, "priority", std::to_string(spec.priority));
   put_kv(out, "deadline_ms", spec.deadline_ms);
   put_kv(out, "progress_interval", spec.progress_interval);
+  put_kv(out, "plan", spec.plan);
   return out;
 }
 
@@ -313,6 +314,7 @@ std::optional<CampaignSpec> decode_spec(std::string_view payload,
           spec.progress_interval = v;
           return true;
         }
+        if (key == "plan") { spec.plan = value; return true; }
         return fail("unknown spec key: " + std::string(key));
       });
   if (!ok) return std::nullopt;
@@ -328,6 +330,12 @@ std::optional<std::string> validate_spec(const CampaignSpec& spec) {
     return "unknown accel level: " + spec.accel;
   if (!parse_fault_model(spec.fault_model))
     return "unknown fault model: " + spec.fault_model;
+  if (!spec.plan.empty()) {
+    if (spec.kind != CampaignKind::Sw)
+      return "plan is only valid for kind=sw";
+    std::string err;
+    if (!vocab::parse_plan(spec.plan, &err)) return err;
+  }
   switch (spec.kind) {
     case CampaignKind::Rtl:
       if (!parse_opcode(spec.op)) return "unknown opcode: " + spec.op;
@@ -538,6 +546,46 @@ std::string serialize_sw_result(const swfi::Result& r) {
   put_kv(out, "sdc", r.sdc);
   put_kv(out, "due", r.due);
   put_kv(out, "candidates", r.candidate_instructions);
+  return out;
+}
+
+std::string serialize_planned_sw_result(const swfi::PlanResult& r) {
+  std::string out;
+  put_kv(out, "kind", "sw-planned");
+  put_kv(out, "injections", r.result.injections);
+  put_kv(out, "masked", r.result.masked);
+  put_kv(out, "sdc", r.result.sdc);
+  put_kv(out, "due", r.result.due);
+  put_kv(out, "candidates", r.result.candidate_instructions);
+  put_kv(out, "adaptive", std::uint64_t{r.adaptive ? 1u : 0u});
+  put_kv(out, "planned_trials", r.planned_trials);
+  put_kv(out, "trials_saved", r.trials_saved);
+  put_kv(out, "pvf", fmt_double(r.pvf));
+  put_kv(out, "pvf_half_width", fmt_double(r.pvf_half_width));
+  put_kv(out, "strata", r.strata.size());
+  for (const auto& s : r.strata) {
+    std::string sl;
+    sl += isa::mnemonic(s.op);
+    sl += ' ';
+    sl += rtlfi::range_name(s.range);
+    sl += ' ';
+    sl += std::to_string(s.candidates);
+    sl += ' ';
+    sl += std::to_string(s.budget);
+    sl += ' ';
+    sl += std::to_string(s.trials);
+    sl += ' ';
+    sl += std::to_string(s.masked);
+    sl += ' ';
+    sl += std::to_string(s.sdc);
+    sl += ' ';
+    sl += std::to_string(s.due);
+    sl += ' ';
+    sl += swfi::stratum_stop_name(s.stop);
+    sl += ' ';
+    sl += fmt_double(s.sdc_half_width);
+    put_kv(out, "stratum", sl);
+  }
   return out;
 }
 

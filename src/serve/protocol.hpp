@@ -29,6 +29,7 @@
 #include "rtl/state.hpp"
 #include "rtlfi/campaign.hpp"
 #include "rtlfi/microbench.hpp"
+#include "swfi/planner.hpp"
 #include "swfi/swfi.hpp"
 #include "vocab/vocab.hpp"
 
@@ -154,6 +155,10 @@ struct CampaignSpec {
   std::uint64_t deadline_ms = 0;  ///< wall-clock budget; 0 = none
   /// Progress frame every this many trials; 0 = automatic throttle.
   std::size_t progress_interval = 0;
+  /// sw: adaptive-plan vocabulary "target_err=X[,min_trials=N][,max_trials=N]"
+  /// (vocab::parse_plan); empty = fixed-trial campaign. Non-empty is only
+  /// valid for kind=sw.
+  std::string plan;
 
   bool operator==(const CampaignSpec&) const = default;
 };
@@ -205,6 +210,11 @@ std::string serialize_campaign_result(const CampaignSpec& spec,
 
 /// Software campaign counters.
 std::string serialize_sw_result(const swfi::Result& r);
+
+/// Planned software campaign: the fixed-campaign counters plus the planner's
+/// stratified estimate and one line per stratum (opcode, range, candidates,
+/// budget, trials, outcome tallies, stop reason, Wilson half-width).
+std::string serialize_planned_sw_result(const swfi::PlanResult& r);
 
 /// CNN campaign counters (criticality split included).
 std::string serialize_cnn_result(const nn::CnnCampaignResult& r);

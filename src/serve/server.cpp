@@ -127,6 +127,14 @@ std::string run_spec(const CampaignSpec& spec, Caches& caches,
         if (cfg.model == swfi::FaultModel::StickyRelativeError)
           cfg.syndrome_model = rtl::FaultModel::StuckAt1;
       }
+      if (!spec.plan.empty()) {
+        const auto plan = vocab::parse_plan(spec.plan);
+        if (!plan)  // validate_spec guarantees this cannot happen
+          throw std::invalid_argument("bad plan: " + spec.plan);
+        const auto pr = swfi::run_planned_campaign(app.app, cfg, *plan);
+        throw_if_stopped(cancel);
+        return serialize_planned_sw_result(pr);
+      }
       const auto r = swfi::run_sw_campaign(app.app, cfg);
       throw_if_stopped(cancel);
       return serialize_sw_result(r);
@@ -207,6 +215,7 @@ std::string encode_stats(const ServerStats& s) {
   kv("queued", s.queued);
   kv("queue_capacity", s.queue_capacity);
   kv("workers", s.workers);
+  kv("planner_early_stops", s.planner_early_stops);
   kv("db_cache_hits", s.db_cache.hits);
   kv("db_cache_misses", s.db_cache.misses);
   kv("golden_cache_hits", s.golden_cache.hits);
@@ -241,6 +250,7 @@ std::optional<ServerStats> decode_stats(std::string_view payload) {
     else if (key == "queued") s.queued = v;
     else if (key == "queue_capacity") s.queue_capacity = v;
     else if (key == "workers") s.workers = v;
+    else if (key == "planner_early_stops") s.planner_early_stops = v;
     else if (key == "db_cache_hits") s.db_cache.hits = v;
     else if (key == "db_cache_misses") s.db_cache.misses = v;
     else if (key == "golden_cache_hits") s.golden_cache.hits = v;
@@ -358,6 +368,8 @@ void Server::Impl::handle_connection(int fd) {
     s.queued = queue.depth();
     s.queue_capacity = queue.capacity();
     s.workers = workers.size();
+    s.planner_early_stops = obs::Registry::global().counter_value(
+        "gpufi_swfi_planner_early_stops_total");
     s.db_cache = caches.syndrome_db_stats();
     s.golden_cache = caches.golden_stats();
     write_frame(fd, {FrameType::Stats, encode_stats(s)});
@@ -589,6 +601,8 @@ ServerStats Server::stats() const {
   s.queued = impl_->queue.depth();
   s.queue_capacity = impl_->queue.capacity();
   s.workers = impl_->workers.size();
+  s.planner_early_stops = obs::Registry::global().counter_value(
+      "gpufi_swfi_planner_early_stops_total");
   s.db_cache = impl_->caches.syndrome_db_stats();
   s.golden_cache = impl_->caches.golden_stats();
   return s;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "common/statistics.hpp"
@@ -27,9 +28,35 @@ std::string_view fault_model_name(FaultModel m) {
 }
 
 bool ProfileHook::is_candidate(Opcode op) {
-  if (!isa::is_characterized(op)) return false;
-  // BRA and GST have no destination value to corrupt.
-  return op != Opcode::BRA && op != Opcode::GST;
+  return isa::is_injection_candidate(op);
+}
+
+namespace {
+
+/// True when the instruction's destination holds an FP32 bit pattern (which
+/// decides both how a relative error is applied and how inputs classify).
+bool fp_destination(Opcode op, bool memory_is_float) {
+  return isa::op_class(op) == isa::OpClass::Fp32 ||
+         isa::op_class(op) == isa::OpClass::Special ||
+         (op == Opcode::GLD && memory_is_float);
+}
+
+}  // namespace
+
+rtlfi::InputRange classify_inputs(Opcode op, std::uint32_t a, std::uint32_t b,
+                                  bool memory_is_float) {
+  if (fp_destination(op, memory_is_float)) {
+    const float fa = std::bit_cast<float>(a);
+    const float fb = std::bit_cast<float>(b);
+    return rtlfi::classify_float_input(
+        std::max(std::fabs(fa), std::fabs(fb)));
+  }
+  const auto mag_of = [](std::uint32_t v) {
+    const auto s = static_cast<std::int32_t>(v);
+    return static_cast<std::uint32_t>(s < 0 ? -static_cast<std::int64_t>(s)
+                                            : s);
+  };
+  return rtlfi::classify_int_input(std::max(mag_of(a), mag_of(b)));
 }
 
 void ProfileHook::on_retire(const emu::RetireInfo& info, std::uint32_t&) {
@@ -78,6 +105,10 @@ bool InjectHook::take_shot(const emu::RetireInfo& info) {
     ++hits_;
     return true;
   }
+  if (restricted_ &&
+      (op != r_op_ ||
+       classify_inputs(op, info.a, info.b, memory_is_float_) != r_range_))
+    return false;
   if (seen_++ != target_) return false;
   fired_ = true;
   hits_ = 1;
@@ -108,25 +139,9 @@ std::uint32_t InjectHook::corrupt_value(const emu::RetireInfo& info,
   }
   // RTL-syndrome relative error: the magnitude range is classified from the
   // instruction's actual inputs, exactly as the modified NVBitFI does.
-  const bool fp_dest =
-      isa::op_class(op) == isa::OpClass::Fp32 ||
-      isa::op_class(op) == isa::OpClass::Special ||
-      (op == Opcode::GLD && memory_is_float_);
-  rtlfi::InputRange range;
-  if (fp_dest) {
-    const float a = std::bit_cast<float>(info.a);
-    const float b = std::bit_cast<float>(info.b);
-    const float mag = std::max(std::fabs(a), std::fabs(b));
-    range = rtlfi::classify_float_input(mag);
-  } else {
-    const auto mag_of = [](std::uint32_t v) {
-      const auto s = static_cast<std::int32_t>(v);
-      return static_cast<std::uint32_t>(s < 0 ? -static_cast<std::int64_t>(s)
-                                              : s);
-    };
-    range = rtlfi::classify_int_input(std::max(mag_of(info.a),
-                                               mag_of(info.b)));
-  }
+  const bool fp_dest = fp_destination(op, memory_is_float_);
+  const rtlfi::InputRange range =
+      classify_inputs(op, info.a, info.b, memory_is_float_);
   double rel = 1.0;
   if (db_) {
     if (const auto s =
@@ -160,6 +175,24 @@ void InjectHook::on_pred_retire(const emu::RetireInfo& info, bool& value) {
   value = !value;
 }
 
+bool InjectHook::done() const {
+  if (!fired_) return false;
+  switch (model_) {
+    case FaultModel::SingleBitFlip:
+    case FaultModel::DoubleBitFlip:
+    case FaultModel::RelativeError:
+      return true;  // one shot, already taken
+    case FaultModel::WarpRelativeError:
+      // Inert once the warp moved on (disarmed) or every lane was hit; until
+      // then take_shot still needs to see retirements to disarm correctly.
+      return !armed_ || hits_ >= 32;
+    case FaultModel::StickyRelativeError:
+      // A stuck flip-flop keeps re-firing on its pc until the hit cap.
+      return hits_ >= kStickyMaxHits;
+  }
+  return false;
+}
+
 double Result::margin_of_error() const {
   return stats::proportion_margin_of_error(pvf(), injections);
 }
@@ -183,6 +216,46 @@ void Result::merge(const Result& other) {
     pc_exec_counts = other.pc_exec_counts;
 }
 
+namespace detail {
+
+void run_one_trial(const App& app, emu::Device& dev, InjectHook& hook,
+                   const std::vector<std::uint32_t>& golden_out,
+                   Result& shard) {
+  dev.reset();
+  const bool ok = app.run(dev, &hook);
+  const bool obs_on = obs::enabled();
+  if (obs_on)
+    // Per-opcode shot accounting: which instruction the trial actually
+    // corrupted ("none" = the draw landed past the dynamic stream,
+    // e.g. a DUE killed the run before the target retired).
+    obs::count(obs::label(
+        "gpufi_sw_injections_total", "opcode",
+        hook.fired() ? isa::mnemonic(hook.hit_opcode()) : "none"));
+  ++shard.injections;
+  auto& site = shard.sites[{hook.fired() ? hook.hit_pc() : -1,
+                            hook.fired() ? hook.hit_opcode()
+                                         : isa::Opcode::NOP}];
+  ++site.hits;
+  std::string_view outcome;
+  if (!ok) {
+    ++shard.due;
+    ++site.due;
+    outcome = vocab::kOutcomeDue;
+  } else if (app.read_output(dev) == golden_out) {
+    ++shard.masked;
+    ++site.masked;
+    outcome = vocab::kOutcomeMasked;
+  } else {
+    ++shard.sdc;
+    ++site.sdc;
+    outcome = vocab::kOutcomeSdc;
+  }
+  if (obs_on)
+    obs::count(obs::label("gpufi_sw_outcomes_total", "outcome", outcome));
+}
+
+}  // namespace detail
+
 Result run_sw_campaign(const App& app, const Config& cfg) {
   obs::Span span("swfi.run_sw_campaign");
   span.set("app", app.name);
@@ -205,6 +278,7 @@ Result run_sw_campaign(const App& app, const Config& cfg) {
     }
   } golden_hook;
   emu::Device golden(app.device_words);
+  golden.set_interpreter(cfg.interpreter);
   {
     obs::Span golden_span("swfi.golden_profile");
     golden_span.set("app", app.name);
@@ -224,43 +298,20 @@ Result run_sw_campaign(const App& app, const Config& cfg) {
   ec.progress_interval = cfg.progress_interval;
   ec.cancel = cfg.cancel;
   Result result = exec::run_trials<Result>(
-      ec, [] { return 0; },
-      [&](int&, std::size_t, Rng& rng, Result& shard) {
+      ec,
+      [&] {
+        // One reused device per chunk (reset per trial) instead of a fresh
+        // construction-and-zeroing for every injection.
+        auto dev = std::make_unique<emu::Device>(app.device_words);
+        dev->set_interpreter(cfg.interpreter);
+        return dev;
+      },
+      [&](std::unique_ptr<emu::Device>& dev, std::size_t, Rng& rng,
+          Result& shard) {
         const std::uint64_t target = rng.below(candidates);
         InjectHook hook(cfg.model, target, rng(), cfg.db,
                         app.memory_is_float, cfg.syndrome_model);
-        emu::Device dev(app.device_words);
-        const bool ok = app.run(dev, &hook);
-        const bool obs_on = obs::enabled();
-        if (obs_on)
-          // Per-opcode shot accounting: which instruction the trial actually
-          // corrupted ("none" = the draw landed past the dynamic stream,
-          // e.g. a DUE killed the run before the target retired).
-          obs::count(obs::label(
-              "gpufi_sw_injections_total", "opcode",
-              hook.fired() ? isa::mnemonic(hook.hit_opcode()) : "none"));
-        ++shard.injections;
-        auto& site = shard.sites[{hook.fired() ? hook.hit_pc() : -1,
-                                  hook.fired() ? hook.hit_opcode()
-                                               : isa::Opcode::NOP}];
-        ++site.hits;
-        std::string_view outcome;
-        if (!ok) {
-          ++shard.due;
-          ++site.due;
-          outcome = vocab::kOutcomeDue;
-        } else if (app.read_output(dev) == golden_out) {
-          ++shard.masked;
-          ++site.masked;
-          outcome = vocab::kOutcomeMasked;
-        } else {
-          ++shard.sdc;
-          ++site.sdc;
-          outcome = vocab::kOutcomeSdc;
-        }
-        if (obs_on)
-          obs::count(
-              obs::label("gpufi_sw_outcomes_total", "outcome", outcome));
+        detail::run_one_trial(app, *dev, hook, golden_out, shard);
       });
   result.candidate_instructions = candidates;
   result.pc_exec_counts = golden_hook.profiler.pc_counts();

@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "emu/device.hpp"
 #include "exec/engine.hpp"
+#include "rtlfi/microbench.hpp"
 #include "syndrome/syndrome.hpp"
 #include "vocab/outcomes.hpp"
 
@@ -53,6 +54,14 @@ struct App {
   bool memory_is_float = true;
 };
 
+/// Syndrome magnitude class of a candidate retirement: FP-destination
+/// instructions classify max(|a|, |b|) as a float magnitude, integer
+/// destinations as a signed magnitude — the same rule InjectHook uses to
+/// pick the syndrome class of a shot, reused by the campaign planner to
+/// stratify the injection space over (opcode x input range).
+rtlfi::InputRange classify_inputs(isa::Opcode op, std::uint32_t a,
+                                  std::uint32_t b, bool memory_is_float);
+
 /// Profile pass: counts the dynamic instructions eligible for injection
 /// (RTL-characterized opcodes that produce a register or predicate value).
 class ProfileHook : public emu::InstrumentHook {
@@ -83,6 +92,22 @@ class InjectHook : public emu::InstrumentHook {
 
   void on_retire(const emu::RetireInfo& info, std::uint32_t& value) override;
   void on_pred_retire(const emu::RetireInfo& info, bool& value) override;
+  /// True once this injector can never fire again (one-shot models after the
+  /// shot, continuation models after they disarm): the interpreter then runs
+  /// the rest of the trial at uninstrumented speed. This is what makes a
+  /// fault-induced hang (a corrupted loop counter spinning to the watchdog)
+  /// cost unhooked-execution time instead of per-lane callback time.
+  bool done() const override;
+
+  /// Planner stratification: count (and target) only candidate retirements
+  /// of `op` whose inputs classify into `range` — `target` then indexes the
+  /// matching candidates only. Continuation firing (sticky/warp models) is
+  /// unaffected; it images the same physical fault.
+  void restrict_to(isa::Opcode op, rtlfi::InputRange range) {
+    restricted_ = true;
+    r_op_ = op;
+    r_range_ = range;
+  }
 
   bool fired() const { return fired_; }
   /// Number of corrupted thread-destinations (1, or up to 32 for the
@@ -120,6 +145,10 @@ class InjectHook : public emu::InstrumentHook {
   bool armed_ = true;
   std::int32_t hit_pc_ = -1;
   unsigned hit_cta_ = 0, hit_warp_ = 0;
+  // Optional stratum restriction (planner).
+  bool restricted_ = false;
+  isa::Opcode r_op_ = isa::Opcode::NOP;
+  rtlfi::InputRange r_range_ = rtlfi::InputRange::Small;
 };
 
 /// Software fault-injection campaign parameters.
@@ -133,6 +162,10 @@ struct Config {
   rtl::FaultModel syndrome_model = rtl::FaultModel::Transient;
   std::size_t n_injections = 500;
   std::uint64_t seed = 1;
+  /// Interpreter used by every launch of the campaign (golden and trials).
+  /// SoA is the fast default; Scalar is the bit-identical reference path the
+  /// equivalence tests and benchmarks compare against.
+  emu::Interpreter interpreter = emu::Interpreter::SoA;
   /// Injection-loop parallelism: 0 resolves to ThreadPool::default_jobs()
   /// (GPUFI_JOBS or the hardware concurrency), 1 runs serial. The Result is
   /// identical for every value — injection i draws its target and hook seed
@@ -201,5 +234,17 @@ struct Result {
 /// run (profile + reference output), then `n_injections` runs with exactly
 /// one corrupted dynamic instruction each.
 Result run_sw_campaign(const App& app, const Config& cfg);
+
+namespace detail {
+
+/// One injection trial, shared by run_sw_campaign and the planner: resets
+/// the reused `dev`, runs the app with `hook` attached, classifies the
+/// outcome against `golden_out`, and records counters, the site-table entry
+/// and the per-trial obs counters into `shard`.
+void run_one_trial(const App& app, emu::Device& dev, InjectHook& hook,
+                   const std::vector<std::uint32_t>& golden_out,
+                   Result& shard);
+
+}  // namespace detail
 
 }  // namespace gpufi::swfi

@@ -1,8 +1,85 @@
 #include "vocab/vocab.hpp"
 
+#include <charconv>
 #include <stdexcept>
 
 namespace gpufi::vocab {
+
+namespace {
+
+bool fail(std::string* error, std::string_view why) {
+  if (error) *error = std::string(why);
+  return false;
+}
+
+bool parse_double_token(std::string_view s, double& out) {
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+std::optional<swfi::Plan> parse_plan(std::string_view s, std::string* error) {
+  swfi::Plan plan;
+  bool saw_target = false, saw_min = false, saw_max = false;
+  std::string_view rest = s;
+  if (rest.empty()) {
+    fail(error, "plan: empty spec (need target_err=X)");
+    return std::nullopt;
+  }
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string_view item = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const auto eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 == item.size()) {
+      fail(error, "plan: expected key=value, got '" + std::string(item) + "'");
+      return std::nullopt;
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "target_err") {
+      if (saw_target) {
+        fail(error, "plan: duplicate target_err");
+        return std::nullopt;
+      }
+      saw_target = true;
+      if (!parse_double_token(value, plan.target_err) ||
+          plan.target_err <= 0.0 || plan.target_err > 0.5) {
+        fail(error, "plan: target_err must be a number in (0, 0.5]");
+        return std::nullopt;
+      }
+    } else if (key == "min_trials" || key == "max_trials") {
+      bool& seen = key == "min_trials" ? saw_min : saw_max;
+      if (seen) {
+        fail(error, "plan: duplicate " + std::string(key));
+        return std::nullopt;
+      }
+      seen = true;
+      const auto n = parse_progress_interval(value);
+      if (!n) {
+        fail(error,
+             "plan: " + std::string(key) + " must be a positive integer");
+        return std::nullopt;
+      }
+      (key == "min_trials" ? plan.min_trials : plan.max_trials) = *n;
+    } else {
+      fail(error, "plan: unknown key '" + std::string(key) + "'");
+      return std::nullopt;
+    }
+  }
+  if (!saw_target) {
+    fail(error, "plan: target_err is required");
+    return std::nullopt;
+  }
+  if (plan.max_trials != 0 && plan.max_trials < plan.min_trials) {
+    fail(error, "plan: max_trials must be >= min_trials");
+    return std::nullopt;
+  }
+  return plan;
+}
 
 std::optional<isa::Opcode> parse_opcode(std::string_view s) {
   for (unsigned i = 0; i < isa::kNumOpcodes; ++i) {

@@ -18,6 +18,7 @@
 #include "rtl/state.hpp"
 #include "rtlfi/campaign.hpp"
 #include "rtlfi/microbench.hpp"
+#include "swfi/planner.hpp"
 #include "swfi/swfi.hpp"
 
 namespace gpufi::vocab {
@@ -53,6 +54,16 @@ std::optional<nn::CnnFaultModel> parse_cnn_model(std::string_view s);
 /// the CLI `--progress-interval` flag and the serve-spec codec so both
 /// layers accept exactly the same strings.
 std::optional<std::size_t> parse_progress_interval(std::string_view s);
+
+/// Adaptive-plan token: "target_err=X[,min_trials=N][,max_trials=N]".
+/// target_err is required and must be in (0, 0.5]; min/max_trials are
+/// positive and max_trials >= min_trials when both are given. Strict:
+/// unknown or duplicate keys reject. On failure returns nullopt and, when
+/// `error` is non-null, stores a one-line reason. Shared by the CLI
+/// `--plan` flag and the serve-spec codec so both layers accept exactly the
+/// same strings.
+std::optional<swfi::Plan> parse_plan(std::string_view s,
+                                     std::string* error = nullptr);
 
 /// True when `s` names one of the HPC applications of `gpufi sw`.
 bool is_known_app(std::string_view s);

@@ -1,0 +1,166 @@
+// Campaign-planner contract: fixed mode is the legacy campaign verbatim,
+// adaptive mode is deterministic (seed- and jobs-invariant), the Wilson stop
+// rule is honored per stratum, and the shared --plan vocabulary parses
+// strictly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "apps/apps.hpp"
+#include "swfi/planner.hpp"
+#include "vocab/vocab.hpp"
+
+namespace gpufi::swfi {
+namespace {
+
+Config small_campaign(unsigned jobs = 1) {
+  Config cfg;
+  cfg.model = FaultModel::SingleBitFlip;
+  cfg.n_injections = 120;
+  cfg.seed = 11;
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+void expect_same_result(const Result& a, const Result& b) {
+  EXPECT_EQ(a.injections, b.injections);
+  EXPECT_EQ(a.masked, b.masked);
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.due, b.due);
+  EXPECT_EQ(a.candidate_instructions, b.candidate_instructions);
+  EXPECT_EQ(a.pc_exec_counts, b.pc_exec_counts);
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  for (auto ia = a.sites.begin(), ib = b.sites.begin(); ia != a.sites.end();
+       ++ia, ++ib) {
+    EXPECT_EQ(ia->first, ib->first);
+    EXPECT_EQ(ia->second.hits, ib->second.hits);
+    EXPECT_EQ(ia->second.masked, ib->second.masked);
+    EXPECT_EQ(ia->second.sdc, ib->second.sdc);
+    EXPECT_EQ(ia->second.due, ib->second.due);
+  }
+}
+
+TEST(Planner, FixedModeEqualsLegacyCampaign) {
+  const auto app = apps::make_mxm(8);
+  const auto cfg = small_campaign();
+  const auto legacy = run_sw_campaign(app.app, cfg);
+  const auto pr = run_planned_campaign(app.app, cfg, Plan{});  // target_err=0
+  EXPECT_FALSE(pr.adaptive);
+  EXPECT_TRUE(pr.strata.empty());
+  EXPECT_EQ(pr.planned_trials, cfg.n_injections);
+  EXPECT_EQ(pr.trials_saved, 0u);
+  EXPECT_DOUBLE_EQ(pr.pvf, legacy.pvf());
+  expect_same_result(pr.result, legacy);
+}
+
+TEST(Planner, AdaptiveStratifiesAndStops) {
+  const auto app = apps::make_mxm(8);
+  const auto cfg = small_campaign();
+  Plan plan;
+  plan.target_err = 0.25;  // generous: most strata converge well early
+  plan.min_trials = 8;
+  const auto pr = run_planned_campaign(app.app, cfg, plan);
+  EXPECT_TRUE(pr.adaptive);
+  ASSERT_FALSE(pr.strata.empty());
+  std::uint64_t cand_sum = 0;
+  std::size_t trials_sum = 0, budget_sum = 0;
+  for (const auto& s : pr.strata) {
+    cand_sum += s.candidates;
+    trials_sum += s.trials;
+    budget_sum += s.budget;
+    EXPECT_LE(s.trials, s.budget);
+    EXPECT_EQ(s.trials, s.masked + s.sdc + s.due);
+    if (s.stop == StratumStop::Converged) {
+      EXPECT_GE(s.trials, plan.min_trials);
+      EXPECT_LE(s.sdc_half_width, plan.target_err);
+    }
+  }
+  EXPECT_EQ(cand_sum, pr.result.candidate_instructions);
+  EXPECT_EQ(trials_sum, pr.result.injections);
+  EXPECT_EQ(budget_sum, pr.planned_trials);
+  EXPECT_EQ(pr.trials_saved, pr.planned_trials - trials_sum);
+  EXPECT_GT(pr.trials_saved, 0u);  // the generous target must save trials
+  EXPECT_GE(pr.pvf, 0.0);
+  EXPECT_LE(pr.pvf, 1.0);
+  EXPECT_GT(pr.pvf_half_width, 0.0);
+}
+
+TEST(Planner, AdaptiveIsJobsInvariant) {
+  const auto app = apps::make_mxm(8);
+  Plan plan;
+  plan.target_err = 0.2;
+  plan.min_trials = 8;
+  const auto a = run_planned_campaign(app.app, small_campaign(1), plan);
+  const auto b = run_planned_campaign(app.app, small_campaign(4), plan);
+  expect_same_result(a.result, b.result);
+  ASSERT_EQ(a.strata.size(), b.strata.size());
+  for (std::size_t i = 0; i < a.strata.size(); ++i) {
+    EXPECT_EQ(a.strata[i].op, b.strata[i].op);
+    EXPECT_EQ(a.strata[i].range, b.strata[i].range);
+    EXPECT_EQ(a.strata[i].trials, b.strata[i].trials);
+    EXPECT_EQ(a.strata[i].sdc, b.strata[i].sdc);
+    EXPECT_EQ(a.strata[i].stop, b.strata[i].stop);
+  }
+  EXPECT_DOUBLE_EQ(a.pvf, b.pvf);
+  EXPECT_DOUBLE_EQ(a.pvf_half_width, b.pvf_half_width);
+  EXPECT_EQ(a.trials_saved, b.trials_saved);
+}
+
+TEST(Planner, AdaptiveIsRerunDeterministic) {
+  const auto app = apps::make_mxm(8);
+  Plan plan;
+  plan.target_err = 0.2;
+  plan.min_trials = 8;
+  const auto a = run_planned_campaign(app.app, small_campaign(), plan);
+  const auto b = run_planned_campaign(app.app, small_campaign(), plan);
+  expect_same_result(a.result, b.result);
+  EXPECT_EQ(a.trials_saved, b.trials_saved);
+}
+
+TEST(Planner, MaxTrialsCapsStrata) {
+  const auto app = apps::make_mxm(8);
+  Plan plan;
+  plan.target_err = 0.01;  // effectively unreachable at this budget
+  plan.min_trials = 4;
+  plan.max_trials = 6;
+  const auto pr = run_planned_campaign(app.app, small_campaign(), plan);
+  for (const auto& s : pr.strata) {
+    EXPECT_LE(s.budget, plan.max_trials);
+    EXPECT_LE(s.trials, plan.max_trials);
+  }
+}
+
+TEST(PlanVocab, ParsesFullSpec) {
+  const auto p = vocab::parse_plan("target_err=0.05,min_trials=16,max_trials=500");
+  ASSERT_TRUE(p);
+  EXPECT_DOUBLE_EQ(p->target_err, 0.05);
+  EXPECT_EQ(p->min_trials, 16u);
+  EXPECT_EQ(p->max_trials, 500u);
+  EXPECT_TRUE(p->adaptive());
+}
+
+TEST(PlanVocab, DefaultsApply) {
+  const auto p = vocab::parse_plan("target_err=0.1");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->min_trials, Plan{}.min_trials);
+  EXPECT_EQ(p->max_trials, 0u);
+}
+
+TEST(PlanVocab, RejectsMalformedSpecs) {
+  std::string err;
+  EXPECT_FALSE(vocab::parse_plan("", &err));
+  EXPECT_FALSE(vocab::parse_plan("min_trials=8", &err));  // target_err missing
+  EXPECT_FALSE(vocab::parse_plan("target_err=0", &err));
+  EXPECT_FALSE(vocab::parse_plan("target_err=0.6", &err));
+  EXPECT_FALSE(vocab::parse_plan("target_err=abc", &err));
+  EXPECT_FALSE(vocab::parse_plan("target_err=0.1,target_err=0.2", &err));
+  EXPECT_FALSE(vocab::parse_plan("target_err=0.1,min_trials=0", &err));
+  EXPECT_FALSE(vocab::parse_plan("target_err=0.1,bogus=3", &err));
+  EXPECT_FALSE(
+      vocab::parse_plan("target_err=0.1,min_trials=50,max_trials=10", &err));
+  EXPECT_FALSE(vocab::parse_plan("target_err", &err));
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace gpufi::swfi

@@ -203,6 +203,7 @@ TEST(Protocol, SpecRoundTripsEveryField) {
   spec.priority = -2;
   spec.deadline_ms = 1500;
   spec.progress_interval = 25;
+  spec.plan = "target_err=0.05,min_trials=16";
   std::string error;
   const auto back = decode_spec(encode_spec(spec), &error);
   ASSERT_TRUE(back.has_value()) << error;
@@ -230,6 +231,15 @@ TEST(Protocol, SpecDecodeIsStrict) {
   EXPECT_NE(error.find("fault model"), std::string::npos);
   EXPECT_FALSE(decode_spec("kind=sw\nfault_model=stuckX\n", &error)
                    .has_value());
+  // Plan vocabulary: parsed strictly, and only valid for kind=sw.
+  EXPECT_FALSE(decode_spec("kind=sw\nplan=target_err=2\n", &error)
+                   .has_value());
+  EXPECT_FALSE(decode_spec("kind=sw\nplan=bogus\n", &error).has_value());
+  EXPECT_FALSE(decode_spec("kind=rtl\nplan=target_err=0.1\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("kind=sw"), std::string::npos);
+  EXPECT_TRUE(decode_spec("kind=sw\nplan=target_err=0.1\n", &error)
+                  .has_value()) << error;
 }
 
 TEST(Vocab, ParseProgressIntervalIsStrict) {
@@ -272,6 +282,7 @@ TEST(Protocol, StatsRoundTrip) {
   s.queued = 4;
   s.queue_capacity = 64;
   s.workers = 2;
+  s.planner_early_stops = 7;
   s.db_cache = {5, 1};
   s.golden_cache = {9, 2};
   const auto back = decode_stats(encode_stats(s));
@@ -285,6 +296,7 @@ TEST(Protocol, StatsRoundTrip) {
   EXPECT_EQ(back->queued, s.queued);
   EXPECT_EQ(back->queue_capacity, s.queue_capacity);
   EXPECT_EQ(back->workers, s.workers);
+  EXPECT_EQ(back->planner_early_stops, s.planner_early_stops);
   EXPECT_EQ(back->db_cache.hits, s.db_cache.hits);
   EXPECT_EQ(back->golden_cache.misses, s.golden_cache.misses);
   EXPECT_FALSE(decode_stats("accepted=1\nnope=2\n").has_value());
@@ -526,6 +538,43 @@ TEST(Serve, ServedSwCampaignMatchesOffline) {
   ASSERT_TRUE(outcome.ok) << outcome.error;
   EXPECT_EQ(outcome.result, offline);
   server.shutdown(true);
+}
+
+TEST(Serve, ServedPlannedSwCampaignMatchesOffline) {
+  // A planned campaign through the daemon: the sw-planned payload is
+  // byte-identical to the offline dispatch of the same spec, and the Stats
+  // frame reports the early-stopped strata the run produced.
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+  CampaignSpec spec;
+  spec.kind = CampaignKind::Sw;
+  spec.app = "mxm";
+  spec.model = "bitflip";
+  spec.injections = 120;
+  spec.seed = 4;
+  spec.jobs = 1;
+  spec.plan = "target_err=0.25,min_trials=8";
+  const std::string offline = run_spec_offline(spec);
+  EXPECT_NE(offline.find("kind=sw-planned\n"), std::string::npos);
+  EXPECT_NE(offline.find("adaptive=1\n"), std::string::npos);
+  EXPECT_NE(offline.find("stratum="), std::string::npos);
+
+  obs::Registry::global().reset();  // count only the served run below
+  ServerConfig cfg;
+  cfg.socket_path = "serve_sw_planned.sock";
+  cfg.workers = 1;
+  Server server(cfg);
+  server.start();
+  const auto outcome = submit_campaign(cfg.socket_path, spec);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result, offline);
+  std::string error;
+  const auto stats = query_stats(cfg.socket_path, &error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_GT(stats->planner_early_stops, 0u);
+  server.shutdown(true);
+  obs::Registry::global().reset();
+  obs::set_enabled(false);
 }
 
 TEST(Serve, MetricsScrapeReportsCountersAndQueueState) {
