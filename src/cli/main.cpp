@@ -8,6 +8,7 @@
 //   gpufi cnn <net> <model> [options]     CNN campaign with criticality split
 //   gpufi report <op> [module|all] ...    cross-layer attribution report
 //   gpufi serve [options]                 campaign daemon on a Unix socket
+//   gpufi worker --connect ADDR           fabric shard executor process
 //   gpufi submit <rtl|tmxm|sw|cnn> ...    run a campaign through the daemon
 //   gpufi status [--socket PATH]          daemon queue/cache counters
 //   gpufi stats --metrics                 daemon Prometheus metrics scrape
@@ -33,6 +34,9 @@
 #include <vector>
 
 #include "core/gpufi.hpp"
+#include "fabric/coordinator.hpp"
+#include "fabric/transport.hpp"
+#include "fabric/worker.hpp"
 #include "nn/gpu_infer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -67,9 +71,10 @@ int usage() {
       "  gpufi report <op> [<module>|all] [--range S|M|L] [--faults N] "
       "[--seed S] [--json] [--out FILE] [--socket PATH]\n"
       "  gpufi serve [--socket PATH] [--workers N] [--queue N] "
-      "[--deadline MS]\n"
+      "[--deadline MS] [--fabric ADDR]\n"
+      "  gpufi worker --connect ADDR [--name NAME] [--heartbeat MS]\n"
       "  gpufi submit <rtl|tmxm|sw|cnn> <args as above> [--socket PATH] "
-      "[--priority P] [--deadline MS]\n"
+      "[--priority P] [--deadline MS] [--workers N]\n"
       "  gpufi status [--socket PATH] [--metrics]\n"
       "  gpufi stats --metrics [--socket PATH]   (alias of status)\n"
       "\n"
@@ -102,6 +107,14 @@ int usage() {
       "writes atomically (tmp + rename); --socket PATH asks a running\n"
       "daemon instead (single module only; the payload is always JSON and\n"
       "byte-identical to the offline --json output).\n"
+      "\n"
+      "scaling out: `gpufi serve --fabric ADDR` opens a coordinator socket\n"
+      "(unix:PATH for one machine, tcp:HOST:PORT across machines); each\n"
+      "`gpufi worker --connect ADDR` process registers as a shard executor.\n"
+      "`gpufi submit ... --workers N` then fans the campaign out over up to\n"
+      "N workers; the merged result is byte-identical to the offline run\n"
+      "for any worker count, including after worker failures (lost shards\n"
+      "are retried on surviving workers).\n"
       "\n"
       "observability: --progress-interval N fires the progress callback\n"
       "every N trials (N >= 1; deterministic whatever --jobs), --trace-out\n"
@@ -186,9 +199,15 @@ struct Options {
   std::string socket = serve::kDefaultSocketPath;
   bool socket_set = false;  ///< --socket given (report: route via daemon)
   unsigned workers = 2;
+  bool workers_set = false;  ///< --workers given (submit: fabric fan-out)
   std::size_t queue = 64;
   int priority = 0;
   std::uint64_t deadline_ms = 0;
+  // fabric options
+  std::string fabric;   ///< serve: coordinator listen address ("" = off)
+  std::string connect;  ///< worker: coordinator address to dial
+  std::string name;     ///< worker: registration name ("" = worker-<pid>)
+  std::uint64_t heartbeat_ms = 500;  ///< worker: liveness ping period
   // observability options
   std::size_t progress_interval = 0;  ///< 0 = adaptive (~2% steps)
   std::string trace_out;              ///< JSONL span/event sink ("" = off)
@@ -246,6 +265,31 @@ struct Options {
       } else if (key == "--workers") {
         if (!number()) return std::nullopt;
         o.workers = static_cast<unsigned>(n);
+        o.workers_set = true;
+      } else if (key == "--fabric") {
+        if (!fabric::parse_endpoint(val)) {
+          usage_error("bad --fabric address '" + val +
+                      "' (expected unix:PATH or tcp:HOST:PORT)");
+          return std::nullopt;
+        }
+        o.fabric = val;
+      } else if (key == "--connect") {
+        if (!fabric::parse_endpoint(val)) {
+          usage_error("bad --connect address '" + val +
+                      "' (expected unix:PATH or tcp:HOST:PORT)");
+          return std::nullopt;
+        }
+        o.connect = val;
+      } else if (key == "--name") {
+        o.name = val;
+      } else if (key == "--heartbeat") {
+        if (!number()) return std::nullopt;
+        if (n == 0) {
+          usage_error("option --heartbeat expects a positive millisecond "
+                      "count");
+          return std::nullopt;
+        }
+        o.heartbeat_ms = n;
       } else if (key == "--queue") {
         if (!number()) return std::nullopt;
         o.queue = n;
@@ -710,6 +754,7 @@ int cmd_serve(int argc, char** argv) {
   cfg.queue_capacity = o->queue;
   cfg.default_deadline_ms = o->deadline_ms;
   cfg.quiet = false;
+  cfg.fabric_listen = o->fabric;
   serve::Server server(cfg);
   // A worker writing to a hung-up client must get EPIPE, not die.
   std::signal(SIGPIPE, SIG_IGN);
@@ -720,6 +765,35 @@ int cmd_serve(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   // Graceful drain: finish every admitted campaign, then tear down.
   server.shutdown(/*drain=*/true);
+  return 0;
+}
+
+int cmd_worker(int argc, char** argv) {
+  const auto o = Options::parse(argc, argv, 2);
+  if (!o) return 2;
+  if (o->connect.empty())
+    return usage_error("gpufi worker requires --connect ADDR");
+  install_trace_sink(*o);
+  fabric::WorkerConfig cfg;
+  cfg.coordinator = *fabric::parse_endpoint(o->connect);
+  cfg.name = o->name;
+  cfg.heartbeat_ms = o->heartbeat_ms;
+  cfg.quiet = false;
+  fabric::Worker worker(cfg);
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  // A version-mismatch rejection or an unreachable coordinator throws here;
+  // main() prints the coordinator's error and exits 1.
+  worker.start();
+  // Serve shards until signalled or the coordinator hangs up. A coordinator
+  // shutdown is a normal drain, not a failure: exit 0 so process supervisors
+  // do not restart-loop a worker whose daemon was retired.
+  while (g_signal == 0 && worker.connected())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  worker.stop();
+  std::fprintf(stderr, "worker done: %zu shards executed\n",
+               worker.shards_done());
   return 0;
 }
 
@@ -774,6 +848,9 @@ int cmd_submit(int argc, char** argv) {
   spec.deadline_ms = o->deadline_ms;
   spec.progress_interval = o->progress_interval;
   spec.plan = o->plan;
+  // --workers on submit is the fabric fan-out width (0 = in-process); the
+  // daemon-side executor pool keeps its own `serve --workers` knob.
+  spec.workers = o->workers_set ? o->workers : 0;
   if (const auto err = serve::validate_spec(spec)) return usage_error(*err);
 
   const auto outcome = serve::submit_campaign(
@@ -821,6 +898,11 @@ int cmd_status(int argc, char** argv) {
               s->db_cache.misses);
   std::printf("golden cache %zu hits / %zu misses\n", s->golden_cache.hits,
               s->golden_cache.misses);
+  std::printf("fabric workers  %zu alive / %zu registered\n",
+              s->fabric_workers_alive, s->fabric_workers_registered);
+  std::printf("fabric shards   %zu done, %zu in flight, %zu retried\n",
+              s->fabric_shards_completed, s->fabric_shards_inflight,
+              s->fabric_shards_retried);
   return 0;
 }
 
@@ -838,6 +920,7 @@ int main(int argc, char** argv) {
     if (cmd == "cnn") return cmd_cnn(argc, argv);
     if (cmd == "report") return cmd_report(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "worker") return cmd_worker(argc, argv);
     if (cmd == "submit") return cmd_submit(argc, argv);
     if (cmd == "status" || cmd == "stats") return cmd_status(argc, argv);
   } catch (const syndrome::SchemaMismatch& e) {

@@ -48,6 +48,31 @@ std::size_t chunk_size(std::size_t n_trials) {
   return std::clamp<std::size_t>(target, 16, 256);
 }
 
+std::vector<TrialRange> plan_shards(std::size_t n_trials,
+                                    std::size_t max_shards) {
+  std::vector<TrialRange> out;
+  if (n_trials == 0) return out;
+  const std::size_t chunk = chunk_size(n_trials);
+  const std::size_t n_chunks = (n_trials + chunk - 1) / chunk;
+  const std::size_t n_shards =
+      std::max<std::size_t>(1, std::min(max_shards, n_chunks));
+  out.reserve(n_shards);
+  // Distribute whole chunks round-robin-evenly: the first `rem` shards get
+  // one extra chunk. The partition never splits a chunk, so every shard
+  // starts (and, except the last, ends) on a chunk boundary.
+  const std::size_t base = n_chunks / n_shards;
+  const std::size_t rem = n_chunks % n_shards;
+  std::size_t chunk_lo = 0;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    const std::size_t chunks_here = base + (s < rem ? 1 : 0);
+    const std::size_t lo = chunk_lo * chunk;
+    const std::size_t hi = std::min(n_trials, (chunk_lo + chunks_here) * chunk);
+    out.push_back({lo, hi - lo});
+    chunk_lo += chunks_here;
+  }
+  return out;
+}
+
 namespace detail {
 
 struct ProgressMeter::State {

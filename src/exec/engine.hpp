@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -71,6 +72,16 @@ struct EngineConfig {
   /// Optional cooperative stop flag: once `stopped()`, no further trial
   /// starts and run_trials returns the merge of the trials already done.
   const CancelToken* cancel = nullptr;
+  /// Distributed sharding (gpufi-fabric): this batch runs the GLOBAL trial
+  /// indices [trial_offset, trial_offset + n_trials) of a campaign of
+  /// trial_total trials. trial_total == 0 means standalone (offset must be
+  /// 0). Chunking — and therefore per-chunk context reuse — is computed
+  /// over trial_total, so a shard must start on a chunk boundary and end on
+  /// one (or at trial_total); run_trials throws std::invalid_argument
+  /// otherwise. Merging shard Results in offset order is then identical to
+  /// the single-process chunk-order merge, byte for byte.
+  std::size_t trial_offset = 0;
+  std::size_t trial_total = 0;
 };
 
 /// Resolves the user-facing jobs knob against the batch width: 0 becomes
@@ -84,6 +95,23 @@ unsigned resolve_jobs(unsigned jobs, std::size_t n_units);
 /// context (e.g. a reused rtl::Sm) sees the same trial sequence whatever the
 /// parallelism — a prerequisite for the bit-identical-across-jobs guarantee.
 std::size_t chunk_size(std::size_t n_trials);
+
+/// One contiguous chunk-aligned trial range — the fabric's unit of
+/// dispatch and retry (a pure function of (spec, seed, offset, count)).
+struct TrialRange {
+  std::size_t offset = 0;
+  std::size_t count = 0;
+
+  bool operator==(const TrialRange&) const = default;
+};
+
+/// Splits [0, n_trials) into at most `max_shards` contiguous ranges, each
+/// aligned to chunk_size(n_trials) boundaries, balanced to within one chunk.
+/// A pure function of its arguments — and because the chunk-order merge is
+/// associative over chunk boundaries, ANY chunk-aligned partition merges to
+/// the same bytes; the shard count only shapes fan-out granularity.
+std::vector<TrialRange> plan_shards(std::size_t n_trials,
+                                    std::size_t max_shards);
 
 namespace detail {
 
@@ -137,10 +165,23 @@ Result run_trials(const EngineConfig& cfg, MakeContext&& make_context,
   Result merged{};
   const std::size_t n = cfg.n_trials;
   if (n == 0) return merged;
+  // Sharded batches chunk over the campaign TOTAL so a shard's chunks line
+  // up exactly with the chunks the single-process run would have formed —
+  // the alignment the byte-identical distributed merge rests on.
+  const std::size_t total = cfg.trial_total == 0 ? n : cfg.trial_total;
+  const std::size_t chunk = chunk_size(total);
+  if (cfg.trial_total == 0 && cfg.trial_offset != 0)
+    throw std::invalid_argument("trial_offset requires trial_total");
+  if (cfg.trial_offset % chunk != 0)
+    throw std::invalid_argument("shard offset not chunk-aligned");
+  if (cfg.trial_offset + n > total)
+    throw std::invalid_argument("shard range exceeds trial_total");
+  if (n % chunk != 0 && cfg.trial_offset + n != total)
+    throw std::invalid_argument(
+        "shard must end on a chunk boundary or at trial_total");
   obs::Span span("exec.run_trials");
   span.set("trials", static_cast<std::uint64_t>(n));
   const bool obs_on = obs::enabled();
-  const std::size_t chunk = chunk_size(n);
   const std::size_t n_chunks = (n + chunk - 1) / chunk;
   std::vector<Result> shards(n_chunks);
   // One metrics shard per chunk, absorbed in chunk-index order below —
@@ -156,8 +197,8 @@ Result run_trials(const EngineConfig& cfg, MakeContext&& make_context,
     obs::ScopedShard scoped(obs_on ? &obs_shards[c] : nullptr);
     auto context = make_context();
     Result& shard = shards[c];
-    const std::size_t lo = c * chunk;
-    const std::size_t hi = std::min(n, lo + chunk);
+    const std::size_t lo = cfg.trial_offset + c * chunk;
+    const std::size_t hi = std::min(cfg.trial_offset + n, lo + chunk);
     std::size_t done = 0;
     for (std::size_t i = lo; i < hi; ++i) {
       if (cancel && cancel->stopped()) break;

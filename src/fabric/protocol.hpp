@@ -1,0 +1,122 @@
+#pragma once
+
+// gpufi-fabric wire messages, layered on the serve frame protocol
+// (serve/protocol.hpp): the coordinator and its workers exchange the
+// FrameType::Hello..ShardProgress frames defined there, with the payload
+// codecs living here.
+//
+// Two payload families:
+//
+//  * Control messages (Hello, ShardRequest, ...) — deterministic
+//    "key=value\n" text like the rest of the serve protocol.
+//
+//  * Shard partials — the LOSSLESS serializations of rtlfi::CampaignResult
+//    and swfi::Result a worker ships back for a non-final shard. The
+//    public Result payload (serve::serialize_campaign_result) is lossy —
+//    it drops FaultSpec temporal fields and distills the syndrome DB from
+//    the in-memory result — so the coordinator cannot merge from it.
+//    These codecs round-trip every field bit for bit (doubles cross the
+//    wire as u64 bit patterns), letting the coordinator reassemble the
+//    exact in-memory result run_trials would have produced and THEN apply
+//    the same public serialization as the offline path. Enums are encoded
+//    numerically; the Hello version handshake guarantees both ends agree
+//    on the numbering.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rtlfi/campaign.hpp"
+#include "serve/protocol.hpp"
+#include "swfi/swfi.hpp"
+
+namespace gpufi::fabric {
+
+/// Fabric protocol revision. Bumped whenever any fabric payload codec,
+/// enum numbering, or the shard-planning contract changes; the coordinator
+/// rejects a Hello carrying any other value (see Coordinator) so a stale
+/// worker binary fails fast with a clear error instead of corrupting a
+/// merge.
+inline constexpr std::uint32_t kFabricProtocolVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Control messages.
+// ---------------------------------------------------------------------------
+
+/// Worker registration (FrameType::Hello payload).
+struct Hello {
+  std::uint32_t version = kFabricProtocolVersion;
+  std::string name;  ///< display name for stats/metrics labels
+  std::uint64_t pid = 0;
+};
+
+std::string encode_hello(const Hello& h);
+std::optional<Hello> decode_hello(std::string_view payload);
+
+/// One trial-range shard assignment (FrameType::ShardRequest payload).
+struct ShardRequest {
+  std::uint64_t job = 0;          ///< coordinator-scoped job id
+  std::uint32_t shard_index = 0;  ///< merge position (chunk order)
+  std::uint32_t n_shards = 1;
+  std::uint64_t trial_offset = 0;
+  std::uint64_t trial_count = 0;
+  /// True = run the WHOLE spec and return the public Result payload
+  /// verbatim (single-shard jobs: cnn campaigns and planned sw campaigns,
+  /// whose adaptive loop is inherently sequential). False = run only
+  /// [trial_offset, trial_offset+trial_count) and return a partial codec.
+  bool final_payload = false;
+  serve::CampaignSpec spec;
+};
+
+std::string encode_shard_request(const ShardRequest& r);
+std::optional<ShardRequest> decode_shard_request(std::string_view payload,
+                                                 std::string* error = nullptr);
+
+/// Shard completion (FrameType::ShardResult payload): header + raw result
+/// bytes (a partial codec, or the public payload for final_payload shards).
+struct ShardResultMsg {
+  std::uint64_t job = 0;
+  std::uint32_t shard_index = 0;
+  std::string payload;
+};
+
+std::string encode_shard_result(const ShardResultMsg& m);
+std::optional<ShardResultMsg> decode_shard_result(std::string_view payload);
+
+/// Shard failure (FrameType::ShardError payload). Shards are pure
+/// functions of (spec, seed, range), so a failure is deterministic and the
+/// coordinator fails the job instead of retrying.
+struct ShardErrorMsg {
+  std::uint64_t job = 0;
+  std::uint32_t shard_index = 0;
+  std::string error;
+};
+
+std::string encode_shard_error(const ShardErrorMsg& m);
+std::optional<ShardErrorMsg> decode_shard_error(std::string_view payload);
+
+/// In-shard progress beacon (FrameType::ShardProgress payload).
+struct ShardProgressMsg {
+  std::uint64_t job = 0;
+  std::uint32_t shard_index = 0;
+  std::uint64_t done = 0;   ///< trials finished within this shard
+  std::uint64_t total = 0;  ///< == trial_count
+};
+
+std::string encode_shard_progress(const ShardProgressMsg& m);
+std::optional<ShardProgressMsg> decode_shard_progress(std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Lossless shard partials.
+// ---------------------------------------------------------------------------
+
+std::string encode_rtl_partial(const rtlfi::CampaignResult& r);
+std::optional<rtlfi::CampaignResult> decode_rtl_partial(
+    std::string_view payload, std::string* error = nullptr);
+
+std::string encode_sw_partial(const swfi::Result& r);
+std::optional<swfi::Result> decode_sw_partial(std::string_view payload,
+                                              std::string* error = nullptr);
+
+}  // namespace gpufi::fabric

@@ -1,0 +1,49 @@
+#pragma once
+
+// gpufi-fabric transport: one address grammar for both transports the
+// fabric speaks — Unix-domain stream sockets for same-machine fleets and
+// TCP for cross-machine ones. The frame layer (serve/protocol.hpp) is
+// byte-stream oriented and never looks at the socket family, so a
+// coordinator and its workers interoperate over either transport without
+// any protocol difference.
+//
+// Address grammar (parse_endpoint):
+//   "unix:PATH"      Unix-domain socket at PATH
+//   "tcp:HOST:PORT"  TCP on HOST:PORT
+//   "HOST:PORT"      shorthand for tcp: when the prefix is absent
+//   "PATH"           shorthand for unix: when no ':' is present
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gpufi::fabric {
+
+struct Endpoint {
+  enum class Kind : std::uint8_t { Unix, Tcp };
+  Kind kind = Kind::Unix;
+  std::string path;  ///< Unix socket path (Kind::Unix)
+  std::string host;  ///< TCP host (Kind::Tcp)
+  std::uint16_t port = 0;  ///< TCP port; 0 binds ephemeral (tests)
+
+  /// Canonical "unix:PATH" / "tcp:HOST:PORT" rendering.
+  std::string describe() const;
+};
+
+/// Parses the address grammar above; nullopt on empty input or an
+/// out-of-range/non-numeric port.
+std::optional<Endpoint> parse_endpoint(std::string_view s);
+
+/// Binds and listens on `ep`. Unix endpoints unlink a stale socket file
+/// first; TCP endpoints set SO_REUSEADDR and bind IPv4. Returns the
+/// listening fd; throws std::runtime_error with errno context on failure.
+int listen_endpoint(const Endpoint& ep, int backlog = 64);
+
+/// Connects to `ep`; returns the connected fd or -1 (with errno set).
+int connect_endpoint(const Endpoint& ep);
+
+/// Port a TCP listening fd actually bound (resolves port 0); 0 for
+/// non-TCP sockets.
+std::uint16_t local_port(int fd);
+
+}  // namespace gpufi::fabric

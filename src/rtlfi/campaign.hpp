@@ -131,6 +131,14 @@ struct CampaignConfig {
   /// aborts the trial loop early; the partial result must then be discarded
   /// by the caller (it is a valid prefix merge, not the full campaign).
   const exec::CancelToken* cancel = nullptr;
+  /// gpufi-fabric sharding: run only the global trial indices
+  /// [shard_offset, shard_offset + shard_count) of the n_faults-trial
+  /// campaign (shard_count == 0 runs it all). Ranges must respect the
+  /// exec::chunk_size(n_faults) alignment contract — exec::plan_shards
+  /// produces conforming partitions. Merging shard results in offset order
+  /// reproduces the whole-campaign result byte for byte.
+  std::size_t shard_offset = 0;
+  std::size_t shard_count = 0;
 };
 
 /// The reusable fault-free half of a campaign: golden cycle count and

@@ -112,7 +112,7 @@ bool for_each_kv(std::string_view payload, std::string* error,
 
 bool frame_type_valid(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::Submit) &&
-         t <= static_cast<std::uint8_t>(FrameType::Report);
+         t <= static_cast<std::uint8_t>(FrameType::ShardProgress);
 }
 
 std::string encode_frame(const Frame& f) {
@@ -234,6 +234,7 @@ std::string encode_spec(const CampaignSpec& spec) {
   put_kv(out, "injections", spec.injections);
   put_kv(out, "seed", spec.seed);
   put_kv(out, "jobs", spec.jobs);
+  put_kv(out, "workers", spec.workers);
   put_kv(out, "accel", spec.accel);
   put_kv(out, "db", spec.db_path);
   put_kv(out, "models", spec.models_dir);
@@ -298,6 +299,12 @@ std::optional<CampaignSpec> decode_spec(std::string_view payload,
           std::uint64_t v;
           if (!number(v)) return false;
           spec.jobs = static_cast<unsigned>(v);
+          return true;
+        }
+        if (key == "workers") {
+          std::uint64_t v;
+          if (!number(v)) return false;
+          spec.workers = static_cast<unsigned>(v);
           return true;
         }
         if (key == "priority") {

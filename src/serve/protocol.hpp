@@ -66,6 +66,27 @@ enum class FrameType : std::uint8_t {
   /// server -> client: the attribution report JSON (attr::render_json),
   /// byte-identical to the offline `gpufi report --json` of the same spec.
   Report = 10,
+
+  // --- gpufi-fabric frames (worker <-> coordinator, same framing; work
+  // over the Unix transport and the TCP transport alike) -------------------
+  /// worker -> coordinator: registration (version, name, pid). The
+  /// coordinator validates fabric::kFabricProtocolVersion and answers with
+  /// HelloAck, or an Error frame naming both versions for a mismatch.
+  Hello = 11,
+  /// coordinator -> worker: registration accepted.
+  HelloAck = 12,
+  /// coordinator -> worker: run one trial-range shard of a campaign spec.
+  ShardRequest = 13,
+  /// worker -> coordinator: a shard's (partial or final) result payload.
+  ShardResult = 14,
+  /// worker -> coordinator: the shard raised an exception (deterministic —
+  /// the coordinator fails the job instead of retrying).
+  ShardError = 15,
+  /// worker -> coordinator: liveness beacon (empty payload). Any inbound
+  /// frame refreshes the worker's liveness deadline.
+  Heartbeat = 16,
+  /// worker -> coordinator: trials completed so far within one shard.
+  ShardProgress = 17,
 };
 
 /// True for types defined above (wire bytes outside the enum are rejected).
@@ -148,6 +169,10 @@ struct CampaignSpec {
   /// Trial-loop threads per campaign. Served default is 1: the daemon's
   /// worker pool is the wide axis, one request = one core.
   unsigned jobs = 1;
+  /// Fan the campaign out over the serve fabric into trial-range shards
+  /// served by up to this many `gpufi worker` processes; 0 runs it inside
+  /// the daemon process. The Result payload is byte-identical either way.
+  unsigned workers = 0;
   std::string accel = "full";  ///< none|checkpoint|full
   std::string db_path = "gpufi_data/syndromes.db";
   std::string models_dir = "gpufi_data";

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "core/gpufi.hpp"
+#include "fabric/coordinator.hpp"
+#include "fabric/transport.hpp"
 #include "nn/gpu_infer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -35,10 +37,8 @@ void throw_if_stopped(const exec::CancelToken* cancel) {
   if (cancel && cancel->stopped()) throw CancelledError("campaign cancelled");
 }
 
-/// Cache key of the shareable golden half of an RTL/t-MxM campaign. Must
-/// capture exactly what rtlfi::prepare_golden depends on: the workload
-/// identity (name already encodes op/range or tile kind; the value seed is
-/// spec.seed) and the trace geometry.
+}  // namespace
+
 std::string golden_cache_key(const CampaignSpec& spec,
                              const rtlfi::CampaignConfig& cc,
                              const rtlfi::Workload& w) {
@@ -52,10 +52,9 @@ std::string golden_cache_key(const CampaignSpec& spec,
   return key;
 }
 
-rtlfi::CampaignConfig campaign_config(const CampaignSpec& spec,
-                                      rtl::Module module,
-                                      const exec::ProgressFn& progress,
-                                      const exec::CancelToken* cancel) {
+rtlfi::CampaignConfig campaign_config_for_spec(
+    const CampaignSpec& spec, rtl::Module module,
+    const exec::ProgressFn& progress, const exec::CancelToken* cancel) {
   rtlfi::CampaignConfig cc;
   cc.module = module;
   cc.n_faults = spec.faults;
@@ -71,8 +70,6 @@ rtlfi::CampaignConfig campaign_config(const CampaignSpec& spec,
   return cc;
 }
 
-}  // namespace
-
 std::string run_spec(const CampaignSpec& spec, Caches& caches,
                      const exec::ProgressFn& progress,
                      const exec::CancelToken* cancel) {
@@ -85,8 +82,8 @@ std::string run_spec(const CampaignSpec& spec, Caches& caches,
     case CampaignKind::Rtl: {
       const auto w = rtlfi::make_microbenchmark(
           *parse_opcode(spec.op), *parse_range(spec.range), spec.seed);
-      const auto cc =
-          campaign_config(spec, *parse_module(spec.module), progress, cancel);
+      const auto cc = campaign_config_for_spec(spec, *parse_module(spec.module),
+                                               progress, cancel);
       const auto golden = caches.golden(
           golden_cache_key(spec, cc, w),
           [&] { return rtlfi::prepare_golden(w, cc); });
@@ -96,8 +93,8 @@ std::string run_spec(const CampaignSpec& spec, Caches& caches,
     }
     case CampaignKind::Tmxm: {
       const auto w = rtlfi::make_tmxm(*parse_tile(spec.tile), spec.seed);
-      const auto cc =
-          campaign_config(spec, *parse_module(spec.module), progress, cancel);
+      const auto cc = campaign_config_for_spec(spec, *parse_module(spec.module),
+                                               progress, cancel);
       const auto golden = caches.golden(
           golden_cache_key(spec, cc, w),
           [&] { return rtlfi::prepare_golden(w, cc); });
@@ -220,6 +217,11 @@ std::string encode_stats(const ServerStats& s) {
   kv("db_cache_misses", s.db_cache.misses);
   kv("golden_cache_hits", s.golden_cache.hits);
   kv("golden_cache_misses", s.golden_cache.misses);
+  kv("fabric_workers_registered", s.fabric_workers_registered);
+  kv("fabric_workers_alive", s.fabric_workers_alive);
+  kv("fabric_shards_inflight", s.fabric_shards_inflight);
+  kv("fabric_shards_retried", s.fabric_shards_retried);
+  kv("fabric_shards_completed", s.fabric_shards_completed);
   return out;
 }
 
@@ -255,6 +257,11 @@ std::optional<ServerStats> decode_stats(std::string_view payload) {
     else if (key == "db_cache_misses") s.db_cache.misses = v;
     else if (key == "golden_cache_hits") s.golden_cache.hits = v;
     else if (key == "golden_cache_misses") s.golden_cache.misses = v;
+    else if (key == "fabric_workers_registered") s.fabric_workers_registered = v;
+    else if (key == "fabric_workers_alive") s.fabric_workers_alive = v;
+    else if (key == "fabric_shards_inflight") s.fabric_shards_inflight = v;
+    else if (key == "fabric_shards_retried") s.fabric_shards_retried = v;
+    else if (key == "fabric_shards_completed") s.fabric_shards_completed = v;
     else return std::nullopt;
   }
   return s;
@@ -271,6 +278,8 @@ struct Server::Impl {
   ServerConfig cfg;
   JobQueue queue;
   Caches caches;
+  /// Embedded fabric coordinator (null when cfg.fabric_listen is empty).
+  std::unique_ptr<fabric::Coordinator> fabric;
 
   int listen_fd = -1;
   std::atomic<bool> started{false};
@@ -298,6 +307,7 @@ struct Server::Impl {
   /// into the metric registry — called at scrape time, so a Metrics frame
   /// always reflects the live state.
   void refresh_gauges();
+  void fill_stats(ServerStats& s) const;
 };
 
 void Server::Impl::refresh_gauges() {
@@ -309,6 +319,45 @@ void Server::Impl::refresh_gauges() {
                  static_cast<std::int64_t>(active.load()));
   obs::set_gauge("gpufi_serve_workers",
                  static_cast<std::int64_t>(workers.size()));
+  if (fabric) {
+    // Fleet-wide aggregates so `gpufi stats --metrics` reflects the fabric
+    // at scrape time.
+    const auto fs = fabric->stats();
+    obs::set_gauge("gpufi_fabric_workers_registered",
+                   static_cast<std::int64_t>(fs.workers_registered));
+    obs::set_gauge("gpufi_fabric_workers_alive",
+                   static_cast<std::int64_t>(fs.workers_alive));
+    obs::set_gauge("gpufi_fabric_shards_inflight",
+                   static_cast<std::int64_t>(fs.shards_inflight));
+    obs::set_gauge("gpufi_fabric_shards_pending",
+                   static_cast<std::int64_t>(fs.shards_pending));
+    obs::set_gauge("gpufi_fabric_shards_retried",
+                   static_cast<std::int64_t>(fs.shards_retried));
+  }
+}
+
+void Server::Impl::fill_stats(ServerStats& s) const {
+  s.accepted = accepted;
+  s.completed = completed;
+  s.failed = failed;
+  s.cancelled = cancelled;
+  s.rejected = queue.rejected();
+  s.active = active;
+  s.queued = queue.depth();
+  s.queue_capacity = queue.capacity();
+  s.workers = workers.size();
+  s.planner_early_stops = obs::Registry::global().counter_value(
+      "gpufi_swfi_planner_early_stops_total");
+  s.db_cache = caches.syndrome_db_stats();
+  s.golden_cache = caches.golden_stats();
+  if (fabric) {
+    const auto fs = fabric->stats();
+    s.fabric_workers_registered = fs.workers_registered;
+    s.fabric_workers_alive = fs.workers_alive;
+    s.fabric_shards_inflight = fs.shards_inflight;
+    s.fabric_shards_retried = fs.shards_retried;
+    s.fabric_shards_completed = fs.shards_completed;
+  }
 }
 
 void Server::Impl::log(const char* fmt, ...) const {
@@ -359,19 +408,7 @@ void Server::Impl::handle_connection(int fd) {
 
   if (req.type == FrameType::Status) {
     ServerStats s;
-    s.accepted = accepted;
-    s.completed = completed;
-    s.failed = failed;
-    s.cancelled = cancelled;
-    s.rejected = queue.rejected();
-    s.active = active;
-    s.queued = queue.depth();
-    s.queue_capacity = queue.capacity();
-    s.workers = workers.size();
-    s.planner_early_stops = obs::Registry::global().counter_value(
-        "gpufi_swfi_planner_early_stops_total");
-    s.db_cache = caches.syndrome_db_stats();
-    s.golden_cache = caches.golden_stats();
+    fill_stats(s);
     write_frame(fd, {FrameType::Stats, encode_stats(s)});
     ::close(fd);
     return;
@@ -461,9 +498,25 @@ void Server::Impl::handle_job(Job job) {
 
   try {
     throw_if_stopped(token.get());
-    const std::string payload =
-        job.report ? run_report_spec(job.spec, progress, token.get())
-                   : run_spec(job.spec, caches, progress, token.get());
+    std::string payload;
+    if (!job.report && job.spec.workers > 0) {
+      // Fabric fan-out: the coordinator shards the campaign over the
+      // registered `gpufi worker` fleet and merges to the exact bytes the
+      // in-process path below would have produced.
+      if (!fabric)
+        throw std::invalid_argument(
+            "this daemon has no fabric: restart `gpufi serve` with "
+            "--fabric ADDR, or resubmit without --workers");
+      payload =
+          fabric->run_job(job.spec, job.spec.workers, progress, token.get());
+    } else if (job.report && job.spec.workers > 0) {
+      throw std::invalid_argument(
+          "attribution reports cannot fan out over the fabric; resubmit "
+          "without --workers");
+    } else {
+      payload = job.report ? run_report_spec(job.spec, progress, token.get())
+                           : run_spec(job.spec, caches, progress, token.get());
+    }
     const FrameType reply =
         job.report ? FrameType::Report : FrameType::Result;
     if (write_frame(fd, {reply, payload})) {
@@ -545,6 +598,31 @@ void Server::start() {
     throw std::runtime_error("listen(" + path + "): " + err);
   }
 
+  if (!impl_->cfg.fabric_listen.empty()) {
+    const auto ep = fabric::parse_endpoint(impl_->cfg.fabric_listen);
+    if (!ep) {
+      ::close(fd);
+      ::unlink(path.c_str());
+      throw std::runtime_error("bad fabric listen address: " +
+                               impl_->cfg.fabric_listen);
+    }
+    fabric::CoordinatorConfig fc;
+    fc.listen = *ep;
+    fc.heartbeat_timeout_ms = impl_->cfg.fabric_heartbeat_timeout_ms;
+    fc.max_shard_retries = impl_->cfg.fabric_max_retries;
+    fc.quiet = impl_->cfg.quiet;
+    impl_->fabric = std::make_unique<fabric::Coordinator>(fc);
+    try {
+      impl_->fabric->start();
+    } catch (...) {
+      impl_->fabric.reset();
+      ::close(fd);
+      ::unlink(path.c_str());
+      throw;
+    }
+    impl_->log("fabric coordinator on %s", ep->describe().c_str());
+  }
+
   impl_->listen_fd = fd;
   impl_->started = true;
   impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
@@ -584,6 +662,9 @@ void Server::shutdown(bool drain) {
   impl_->queue.close();
   for (auto& w : impl_->workers) w.join();
   impl_->workers.clear();
+  // Stop the fabric only after the executor pool drained: in-flight fabric
+  // jobs finish their shards before the fleet is cut loose.
+  if (impl_->fabric) impl_->fabric->stop();
   ::unlink(impl_->cfg.socket_path.c_str());
   impl_->log("stopped (completed %zu, failed %zu, cancelled %zu)",
              impl_->completed.load(), impl_->failed.load(),
@@ -592,20 +673,12 @@ void Server::shutdown(bool drain) {
 
 ServerStats Server::stats() const {
   ServerStats s;
-  s.accepted = impl_->accepted;
-  s.completed = impl_->completed;
-  s.failed = impl_->failed;
-  s.cancelled = impl_->cancelled;
-  s.rejected = impl_->queue.rejected();
-  s.active = impl_->active;
-  s.queued = impl_->queue.depth();
-  s.queue_capacity = impl_->queue.capacity();
-  s.workers = impl_->workers.size();
-  s.planner_early_stops = obs::Registry::global().counter_value(
-      "gpufi_swfi_planner_early_stops_total");
-  s.db_cache = impl_->caches.syndrome_db_stats();
-  s.golden_cache = impl_->caches.golden_stats();
+  impl_->fill_stats(s);
   return s;
+}
+
+fabric::Coordinator* Server::coordinator() const {
+  return impl_->fabric.get();
 }
 
 }  // namespace gpufi::serve

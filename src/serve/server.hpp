@@ -22,6 +22,10 @@
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
 
+namespace gpufi::fabric {
+class Coordinator;
+}  // namespace gpufi::fabric
+
 namespace gpufi::serve {
 
 struct ServerConfig {
@@ -32,6 +36,13 @@ struct ServerConfig {
   std::uint64_t default_deadline_ms = 0;
   /// Suppress stderr lifecycle logging (tests).
   bool quiet = true;
+  /// gpufi-fabric coordinator listen address ("unix:PATH", "HOST:PORT" or
+  /// "tcp:HOST:PORT"); empty disables the fabric, and submits asking for
+  /// workers > 0 are then rejected with a clear error.
+  std::string fabric_listen;
+  /// See fabric::CoordinatorConfig.
+  std::uint64_t fabric_heartbeat_timeout_ms = 5000;
+  unsigned fabric_max_retries = 3;
 };
 
 /// Point-in-time counters (the Stats frame payload).
@@ -51,10 +62,30 @@ struct ServerStats {
   std::size_t planner_early_stops = 0;
   CacheStats db_cache;
   CacheStats golden_cache;
+  // Fabric fleet aggregates (all zero when the fabric is disabled).
+  std::size_t fabric_workers_registered = 0;  ///< lifetime handshakes
+  std::size_t fabric_workers_alive = 0;
+  std::size_t fabric_shards_inflight = 0;
+  std::size_t fabric_shards_retried = 0;
+  std::size_t fabric_shards_completed = 0;
 };
 
 std::string encode_stats(const ServerStats& s);
 std::optional<ServerStats> decode_stats(std::string_view payload);
+
+/// Resolves an rtl/tmxm spec to the campaign config its trials run under —
+/// shared by the in-process dispatch and the fabric worker's shard executor
+/// so a sharded campaign cannot drift from the offline one.
+rtlfi::CampaignConfig campaign_config_for_spec(
+    const CampaignSpec& spec, rtl::Module module,
+    const exec::ProgressFn& progress, const exec::CancelToken* cancel);
+
+/// Cache key of the shareable golden half of an RTL/t-MxM campaign: the
+/// workload identity (name encodes op/range or tile kind; the value seed is
+/// spec.seed) plus the trace geometry rtlfi::prepare_golden depends on.
+std::string golden_cache_key(const CampaignSpec& spec,
+                             const rtlfi::CampaignConfig& cc,
+                             const rtlfi::Workload& w);
 
 /// Executes one campaign spec on the calling thread, sharing `caches`.
 /// Returns the deterministic Result payload. `progress`/`cancel` may be
@@ -101,6 +132,8 @@ class Server {
   bool running() const;
   ServerStats stats() const;
   const ServerConfig& config() const;
+  /// The embedded fabric coordinator; null when fabric_listen is empty.
+  fabric::Coordinator* coordinator() const;
 
  private:
   struct Impl;

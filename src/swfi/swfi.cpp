@@ -291,12 +291,16 @@ Result run_sw_campaign(const App& app, const Config& cfg) {
     throw std::runtime_error("no injectable instructions in " + app.name);
 
   exec::EngineConfig ec;
-  ec.n_trials = cfg.n_injections;
+  ec.n_trials = cfg.shard_count == 0 ? cfg.n_injections : cfg.shard_count;
   ec.seed = cfg.seed;
   ec.jobs = cfg.jobs;
   ec.progress = cfg.progress;
   ec.progress_interval = cfg.progress_interval;
   ec.cancel = cfg.cancel;
+  if (cfg.shard_count != 0) {
+    ec.trial_offset = cfg.shard_offset;
+    ec.trial_total = cfg.n_injections;
+  }
   Result result = exec::run_trials<Result>(
       ec,
       [&] {

@@ -178,6 +178,14 @@ struct Config {
   /// Optional cooperative stop flag: a stopped token aborts the injection
   /// loop early (partial results must be discarded by the caller).
   const exec::CancelToken* cancel = nullptr;
+  /// gpufi-fabric sharding: run only the global injection indices
+  /// [shard_offset, shard_offset + shard_count) of the n_injections-trial
+  /// campaign (shard_count == 0 runs it all; ranges must respect the
+  /// exec::chunk_size(n_injections) alignment contract). Each shard repeats
+  /// the deterministic golden profile run, so merging shard Results in
+  /// offset order reproduces the whole campaign byte for byte.
+  std::size_t shard_offset = 0;
+  std::size_t shard_count = 0;
 };
 
 /// Outcome tallies for one software fault site (a static instruction).

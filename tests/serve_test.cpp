@@ -204,6 +204,7 @@ TEST(Protocol, SpecRoundTripsEveryField) {
   spec.deadline_ms = 1500;
   spec.progress_interval = 25;
   spec.plan = "target_err=0.05,min_trials=16";
+  spec.workers = 4;
   std::string error;
   const auto back = decode_spec(encode_spec(spec), &error);
   ASSERT_TRUE(back.has_value()) << error;
